@@ -1,0 +1,276 @@
+package a1
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"a1/internal/core"
+	"a1/internal/workload"
+)
+
+// Integration tests driving the whole stack through the public facade.
+
+func openTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.Machines == 0 {
+		opts.Machines = 8
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+var movieSchema = NewSchema("movie",
+	Req(0, "title", TString),
+	Opt(1, "year", TInt64),
+	Opt(2, "tags", TListOf(TString)),
+)
+
+var personSchema = NewSchema("person",
+	Req(0, "name", TString),
+	Opt(1, "origin", TString),
+)
+
+var roleSchema = NewSchema("role",
+	Opt(0, "character", TString),
+)
+
+func setupFilmGraph(t *testing.T, db *DB, c *Ctx) *Graph {
+	t.Helper()
+	if err := db.CreateTenant(c, "bing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateGraph(c, "bing", "films"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := db.OpenGraph(c, "bing", "films")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CreateVertexType(c, "movie", movieSchema, "title", "year"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CreateVertexType(c, "person", personSchema, "name", "origin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CreateEdgeType(c, "acted", roleSchema); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicAPILifecycle(t *testing.T) {
+	db := openTestDB(t, Options{})
+	db.Run(func(c *Ctx) {
+		g := setupFilmGraph(t, db, c)
+		var movie, actor VertexPtr
+		err := db.Transaction(c, func(tx *Tx) error {
+			var err error
+			movie, err = g.CreateVertex(tx, "movie", Record(
+				FV(0, Str("Big")), FV(1, I64(1988)), FV(2, ListOf(Str("comedy"))),
+			))
+			if err != nil {
+				return err
+			}
+			actor, err = g.CreateVertex(tx, "person", Record(
+				FV(0, Str("Tom Hanks")), FV(1, Str("usa")),
+			))
+			if err != nil {
+				return err
+			}
+			return g.CreateEdge(tx, movie, "acted", actor, Record(FV(0, Str("Josh"))))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Read through a snapshot transaction.
+		rtx := db.ReadTransaction(c)
+		v, err := g.ReadVertex(rtx, movie)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if title, _ := v.Data.Field(0); title.AsString() != "Big" {
+			t.Errorf("title = %v", title)
+		}
+		val, ok, err := g.GetEdge(rtx, movie, "acted", actor)
+		if err != nil || !ok {
+			t.Fatalf("edge: %v %v", ok, err)
+		}
+		if ch, _ := val.Field(0); ch.AsString() != "Josh" {
+			t.Errorf("character = %v", ch)
+		}
+
+		// A1QL through the frontend.
+		res, err := db.Query(c, g, `{"id": "Big",
+			"_out_edge": {"_type": "acted", "_vertex": {"_select": ["name"]}}}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0].Values["name"].AsString() != "Tom Hanks" {
+			t.Errorf("rows = %+v", res.Rows)
+		}
+	})
+}
+
+func TestPublicAPIDeleteGraphWorkflow(t *testing.T) {
+	db := openTestDB(t, Options{})
+	db.Run(func(c *Ctx) {
+		g := setupFilmGraph(t, db, c)
+		err := db.Transaction(c, func(tx *Tx) error {
+			for i := 0; i < 30; i++ {
+				if _, err := g.CreateVertex(tx, "person", Record(
+					FV(0, Str(fmt.Sprintf("p%02d", i))),
+				)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DeleteGraphAsync(c, "bing", "films"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.RunPendingTasks(c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.OpenGraph(c, "bing", "films"); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("graph survives deletion: %v", err)
+		}
+	})
+}
+
+func TestPublicAPIDisasterRecovery(t *testing.T) {
+	db := openTestDB(t, Options{EnableDR: true, DRMode: RecoverConsistent})
+	var store *ObjectStore
+	db.Run(func(c *Ctx) {
+		g := setupFilmGraph(t, db, c)
+		if err := db.EnableReplication(c, g); err != nil {
+			t.Fatal(err)
+		}
+		err := db.Transaction(c, func(tx *Tx) error {
+			m, err := g.CreateVertex(tx, "movie", Record(FV(0, Str("Jaws")), FV(1, I64(1975))))
+			if err != nil {
+				return err
+			}
+			p, err := g.CreateVertex(tx, "person", Record(FV(0, Str("Roy Scheider"))))
+			if err != nil {
+				return err
+			}
+			return g.CreateEdge(tx, m, "acted", p, Null)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.FlushReplication(c); err != nil {
+			t.Fatal(err)
+		}
+		store = db.DurableStore()
+	})
+
+	// Total datacenter loss: build a brand-new cluster and recover.
+	db2 := openTestDB(t, Options{})
+	db2.Run(func(c *Ctx) {
+		stats, err := db2.Recover(c, store, "bing", "films", RecoverConsistent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Vertices != 2 || stats.Edges != 1 {
+			t.Errorf("recovered %d/%d, want 2/1", stats.Vertices, stats.Edges)
+		}
+		g, err := db2.OpenGraph(c, "bing", "films")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db2.Query(c, g, `{"id": "Jaws", "_out_edge": {"_type": "acted", "_vertex": {"_select": ["name"]}}}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Errorf("post-recovery rows = %d", len(res.Rows))
+		}
+	})
+}
+
+func TestPublicAPIFastRestartDrill(t *testing.T) {
+	db := openTestDB(t, Options{Machines: 9, Mode: Sim})
+	var vp VertexPtr
+	var g *Graph
+	db.Run(func(c *Ctx) {
+		g = setupFilmGraph(t, db, c)
+		err := db.Transaction(c, func(tx *Tx) error {
+			var err error
+			vp, err = g.CreateVertex(tx, "movie", Record(FV(0, Str("Duel"))))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	db.Run(func(c *Ctx) {
+		primary, err := db.Farm().PrimaryOf(c, vp.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.CrashProcess(c, primary)
+		db.RestartProcess(c, primary)
+		rtx := db.ReadTransaction(c)
+		if _, err := g.ReadVertex(rtx, vp); err != nil {
+			t.Errorf("read after fast restart: %v", err)
+		}
+	})
+}
+
+func TestPublicAPISimModeKnowledgeGraph(t *testing.T) {
+	db := openTestDB(t, Options{Machines: 12, Mode: Sim})
+	db.Run(func(c *Ctx) {
+		if err := db.CreateTenant(c, "bing"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateGraph(c, "bing", "kg"); err != nil {
+			t.Fatal(err)
+		}
+		g, err := db.OpenGraph(c, "bing", "kg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kg := workload.NewFilmKG(workload.TestParams())
+		if err := kg.Load(c, g); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(c, g, `{ "id" : "steven.spielberg",
+			"_out_edge" : { "_type" : "director.film",
+			  "_vertex" : {
+			    "_out_edge" : { "_type" : "film.actor",
+			      "_vertex" : { "_select" : ["_count(*)"] }}}}}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count == 0 {
+			t.Error("zero actors")
+		}
+		if res.Stats.Elapsed <= 0 {
+			t.Error("no virtual latency measured")
+		}
+		t.Logf("sim Q1: count=%d latency=%v local=%.1f%% objects=%d",
+			res.Count, res.Stats.Elapsed, res.Stats.LocalFrac*100, res.Stats.ObjectsRead)
+	})
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := NewSchema("x", Req(0, "k", TString), Opt(1, "n", TInt64), Opt(2, "m", TMapOf(TString, TString)))
+	v := Record(FV(0, Str("a")), FV(1, I64(5)), FV(2, StrMap(map[string]string{"x": "y"})))
+	if err := s.Validate(v); err != nil {
+		t.Fatal(err)
+	}
+	bad := Record(FV(1, I64(5)))
+	if err := s.Validate(bad); err == nil {
+		t.Error("missing required key accepted")
+	}
+}

@@ -1,0 +1,304 @@
+package a1_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"a1"
+	"a1/internal/bench"
+	"a1/internal/workload"
+)
+
+// One benchmark per paper table/figure (DESIGN.md per-experiment index).
+// Each iteration regenerates the experiment on the simulated cluster and
+// reports the headline numbers as custom metrics; `cmd/a1bench` prints the
+// full series. Scale defaults to the laptop-sized ScaleTest; set
+// A1_BENCH_SCALE=paper for the 245-machine testbed shape.
+
+func benchSpec() bench.Spec {
+	if os.Getenv("A1_BENCH_SCALE") == "paper" {
+		return bench.DefaultSpec(bench.ScalePaper)
+	}
+	s := bench.DefaultSpec(bench.ScaleTest)
+	s.Machines = 16
+	s.Racks = 4
+	s.Rates = []float64{500, 2000}
+	s.QueriesPerPt = 100
+	return s
+}
+
+// reportSweep surfaces the lowest- and highest-load rows of a latency
+// sweep.
+func reportSweep(b *testing.B, r *bench.Report) {
+	b.Helper()
+	if len(r.Rows) == 0 {
+		b.Fatal("empty report")
+	}
+	lo, hi := r.Rows[0], r.Rows[len(r.Rows)-1]
+	b.ReportMetric(lo[1], "ms_avg_low_load")
+	b.ReportMetric(hi[1], "ms_avg_high_load")
+	b.ReportMetric(hi[3], "ms_p99_high_load")
+}
+
+// BenchmarkFig10Q1Latency regenerates Figure 10 (Q1 latency vs load).
+func BenchmarkFig10Q1Latency(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig10(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, r)
+	}
+}
+
+// BenchmarkFig11RDMARead regenerates Figure 11 (RDMA time vs #reads).
+func BenchmarkFig11RDMARead(b *testing.B) {
+	spec := benchSpec()
+	spec.Rates = spec.Rates[:1]
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig11(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) > 0 {
+			b.ReportMetric(r.Rows[0][2], "us_per_rdma_read")
+		}
+	}
+}
+
+// BenchmarkFig12Q2Latency regenerates Figure 12 (Q2, Batman performances).
+func BenchmarkFig12Q2Latency(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig12(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, r)
+	}
+}
+
+// BenchmarkFig13Q3Latency regenerates Figure 13 (Q3 star pattern).
+func BenchmarkFig13Q3Latency(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig13(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSweep(b, r)
+	}
+}
+
+// BenchmarkFig14Scalability regenerates Figure 14 (latency vs throughput
+// across cluster sizes).
+func BenchmarkFig14Scalability(b *testing.B) {
+	spec := benchSpec()
+	spec.QueriesPerPt = 60
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig14(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) > 0 {
+			b.ReportMetric(r.Rows[0][1], "ms_avg_smallest_cluster_low_load")
+		}
+	}
+}
+
+// BenchmarkQ4Throughput regenerates the in-text Q4 stress numbers.
+func BenchmarkQ4Throughput(b *testing.B) {
+	spec := benchSpec()
+	spec.QueriesPerPt = 60
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Q4Stress(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Rows[len(r.Rows)-1]
+		b.ReportMetric(last[3], "vertices_per_query")
+		b.ReportMetric(last[5], "vertex_reads_per_sec_per_machine")
+	}
+}
+
+// BenchmarkLocality regenerates the §6 in-text locality measurement.
+func BenchmarkLocality(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Locality(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0][3], "local_read_pct_shipped")
+	}
+}
+
+// BenchmarkBaselineComparison regenerates the §5 two-tier comparison.
+func BenchmarkBaselineComparison(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.BaselineCompare(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[1][1]/r.Rows[0][1], "speedup_vs_two_tier")
+	}
+}
+
+// BenchmarkFastRestart regenerates the §5.3 fast-restart drill.
+func BenchmarkFastRestart(b *testing.B) {
+	spec := benchSpec()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.FastRestart(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[1][1]/r.Rows[0][1], "dr_vs_fast_restart_ratio")
+	}
+}
+
+// --- Real wall-clock micro-benchmarks (Direct mode, -benchmem) ---
+
+func directKG(b *testing.B) (*a1.DB, *a1.Graph) {
+	b.Helper()
+	db, err := a1.Open(a1.Options{Machines: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	var g *a1.Graph
+	var loadErr error
+	db.Run(func(c *a1.Ctx) {
+		if loadErr = db.CreateTenant(c, "bing"); loadErr != nil {
+			return
+		}
+		if loadErr = db.CreateGraph(c, "bing", "kg"); loadErr != nil {
+			return
+		}
+		g, loadErr = db.OpenGraph(c, "bing", "kg")
+		if loadErr != nil {
+			return
+		}
+		kg := workload.NewFilmKG(workload.TestParams())
+		loadErr = kg.Load(c, g)
+	})
+	if loadErr != nil {
+		b.Fatal(loadErr)
+	}
+	return db, g
+}
+
+// BenchmarkDirectQ1 measures real end-to-end Q1 throughput of the engine.
+func BenchmarkDirectQ1(b *testing.B) {
+	db, g := directKG(b)
+	db.Run(func(c *a1.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryAt(c, g, bench.Q1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectVertexRead measures point reads through the full stack.
+func BenchmarkDirectVertexRead(b *testing.B) {
+	db, g := directKG(b)
+	db.Run(func(c *a1.Ctx) {
+		tx := db.ReadTransaction(c)
+		vp, ok, err := g.LookupVertex(tx, "entity", a1.Str("tom.hanks"))
+		if err != nil || !ok {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rtx := db.ReadTransaction(c)
+			if _, err := g.ReadVertex(rtx, vp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectCreateVertex measures transactional insert throughput.
+func BenchmarkDirectCreateVertex(b *testing.B) {
+	db, g := directKG(b)
+	db.Run(func(c *a1.Ctx) {
+		b.ResetTimer()
+		i := 0
+		for i < b.N {
+			err := db.Transaction(c, func(tx *a1.Tx) error {
+				for batch := 0; batch < 16 && i < b.N; batch++ {
+					id := fmt.Sprintf("bench.v.%09d", i)
+					_, err := g.CreateVertex(tx, "entity", a1.Record(
+						a1.FV(0, a1.Str(id)),
+						a1.FV(1, a1.ListOf(a1.Str(id))),
+					))
+					if err != nil {
+						return err
+					}
+					i++
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDirectEdgeCreate measures transactional edge insert throughput.
+func BenchmarkDirectEdgeCreate(b *testing.B) {
+	db, g := directKG(b)
+	db.Run(func(c *a1.Ctx) {
+		// A dedicated hub so inserts don't conflict with KG data.
+		var hub a1.VertexPtr
+		err := db.Transaction(c, func(tx *a1.Tx) error {
+			var err error
+			hub, err = g.CreateVertex(tx, "entity", a1.Record(a1.FV(0, a1.Str("bench.hub"))))
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spokes := make([]a1.VertexPtr, b.N)
+		for base := 0; base < b.N; base += 256 {
+			end := base + 256
+			if end > b.N {
+				end = b.N
+			}
+			err = db.Transaction(c, func(tx *a1.Tx) error {
+				for i := base; i < end; i++ {
+					spokes[i], err = g.CreateVertex(tx, "entity", a1.Record(
+						a1.FV(0, a1.Str(fmt.Sprintf("bench.spoke.%09d", i)))))
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		i := 0
+		for i < b.N {
+			err := db.Transaction(c, func(tx *a1.Tx) error {
+				for batch := 0; batch < 16 && i < b.N; batch++ {
+					if err := g.CreateEdge(tx, hub, "film.actor", spokes[i], a1.Null); err != nil {
+						return err
+					}
+					i++
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Command a1server exposes an in-process A1 cluster over HTTP — the role
+// the frontend tier plays in Figure 4, with JSON-over-TCP standing in for
+// the production RPC stack.
+//
+// Endpoints:
+//
+//	POST /query?tenant=bing&graph=kg   body: A1QL JSON    -> result page
+//	GET  /fetch?token=...                                  -> next page
+//	GET  /stats                                            -> cluster counters
+//	GET  /healthz
+//
+// Example:
+//
+//	$ go run ./cmd/a1server &
+//	$ curl -s -XPOST 'localhost:8080/query' -d '{"id":"tom.hanks","_select":["id"]}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"a1"
+	"a1/internal/workload"
+)
+
+type server struct {
+	db *a1.DB
+	g  *a1.Graph
+}
+
+type queryResponse struct {
+	Count        *int64              `json:"count,omitempty"`
+	Rows         []map[string]string `json:"rows,omitempty"`
+	Continuation string              `json:"continuation,omitempty"`
+	Stats        statsJSON           `json:"stats"`
+}
+
+type statsJSON struct {
+	Hops         int     `json:"hops"`
+	VerticesRead int64   `json:"vertices_read"`
+	ObjectsRead  int64   `json:"objects_read"`
+	LocalPct     float64 `json:"local_read_pct"`
+	ElapsedUS    int64   `json:"elapsed_us"`
+}
+
+func toResponse(res *a1.Result) queryResponse {
+	out := queryResponse{
+		Continuation: res.Continuation,
+		Stats: statsJSON{
+			Hops:         res.Stats.Hops,
+			VerticesRead: res.Stats.VerticesRead,
+			ObjectsRead:  res.Stats.ObjectsRead,
+			LocalPct:     res.Stats.LocalFrac * 100,
+			ElapsedUS:    res.Stats.Elapsed.Microseconds(),
+		},
+	}
+	if res.HasCount {
+		c := res.Count
+		out.Count = &c
+	}
+	for _, row := range res.Rows {
+		m := map[string]string{"_vertex": row.Vertex.Addr.String()}
+		for k, v := range row.Values {
+			m[k] = v.String()
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	return out
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an A1QL document", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res *a1.Result
+	var qerr error
+	s.db.Run(func(c *a1.Ctx) {
+		res, qerr = s.db.Query(c, s.g, string(doc))
+	})
+	if qerr != nil {
+		http.Error(w, qerr.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, toResponse(res))
+}
+
+func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("token")
+	if token == "" {
+		http.Error(w, "missing token", http.StatusBadRequest)
+		return
+	}
+	var res *a1.Result
+	var qerr error
+	s.db.Run(func(c *a1.Ctx) {
+		res, qerr = s.db.Fetch(c, token)
+	})
+	if qerr != nil {
+		http.Error(w, qerr.Error(), http.StatusGone)
+		return
+	}
+	writeJSON(w, toResponse(res))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	m := &s.db.Fabric().Metrics
+	writeJSON(w, map[string]interface{}{
+		"machines":      s.db.Fabric().Machines(),
+		"bytes_used":    s.db.UsedBytes(),
+		"local_reads":   m.LocalReads.Load(),
+		"remote_reads":  m.RemoteReads.Load(),
+		"remote_writes": m.RemoteWrites.Load(),
+		"rpcs":          m.RPCs.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		machines = flag.Int("machines", 16, "simulated cluster size")
+		scale    = flag.String("scale", "test", "knowledge graph size: test | paper")
+	)
+	flag.Parse()
+
+	db, err := a1.Open(a1.Options{Machines: *machines, TaskWorkers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	var g *a1.Graph
+	db.Run(func(c *a1.Ctx) {
+		if err = db.CreateTenant(c, "bing"); err != nil {
+			return
+		}
+		if err = db.CreateGraph(c, "bing", "kg"); err != nil {
+			return
+		}
+		if g, err = db.OpenGraph(c, "bing", "kg"); err != nil {
+			return
+		}
+		params := workload.TestParams()
+		if *scale == "paper" {
+			params = workload.PaperParams()
+		}
+		kg := workload.NewFilmKG(params)
+		if err = kg.Load(c, g); err != nil {
+			return
+		}
+		fmt.Printf("a1server: loaded %d vertices, %d edges on %d machines\n",
+			kg.Stats.Vertices, kg.Stats.Edges, *machines)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := &server{db: db, g: g}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/fetch", s.handleFetch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("a1server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,192 @@
+// Command a1shell is an interactive A1QL shell against an in-process A1
+// cluster preloaded with the film knowledge graph. Queries are JSON
+// documents; blank lines execute the buffered input, so multi-line
+// documents paste naturally.
+//
+//	$ go run ./cmd/a1shell
+//	a1> { "id" : "steven.spielberg",
+//	...   "_out_edge" : { "_type" : "director.film",
+//	...     "_vertex" : { "_select" : ["_count(*)"] }}}
+//	...
+//	count: 49   (8 vertices read, 1.2ms, 96% local)
+//
+// Shell commands: :help :stats :examples :quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"a1"
+	"a1/internal/bench"
+	"a1/internal/workload"
+)
+
+func main() {
+	var (
+		machines = flag.Int("machines", 16, "simulated cluster size")
+		scale    = flag.String("scale", "test", "knowledge graph size: test | paper")
+	)
+	flag.Parse()
+
+	db, err := a1.Open(a1.Options{Machines: *machines})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	var g *a1.Graph
+	var kg *workload.FilmKG
+	db.Run(func(c *a1.Ctx) {
+		if err = db.CreateTenant(c, "bing"); err != nil {
+			return
+		}
+		if err = db.CreateGraph(c, "bing", "kg"); err != nil {
+			return
+		}
+		if g, err = db.OpenGraph(c, "bing", "kg"); err != nil {
+			return
+		}
+		params := workload.TestParams()
+		if *scale == "paper" {
+			params = workload.PaperParams()
+		}
+		kg = workload.NewFilmKG(params)
+		err = kg.Load(c, g)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("a1shell: %d machines, knowledge graph loaded (%d vertices, %d edges)\n",
+		*machines, kg.Stats.Vertices, kg.Stats.Edges)
+	fmt.Println("enter an A1QL JSON document followed by a blank line; :help for commands")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("a1> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			if !command(db, g, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		if trimmed != "" {
+			buf.WriteString(line)
+			buf.WriteString("\n")
+			// Execute immediately if the document already parses.
+			if !looksComplete(buf.String()) {
+				prompt()
+				continue
+			}
+		}
+		if buf.Len() > 0 {
+			runQuery(db, g, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// looksComplete reports whether braces balance (cheap multi-line check).
+func looksComplete(s string) bool {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '{':
+			if !inStr {
+				depth++
+			}
+		case '}':
+			if !inStr {
+				depth--
+			}
+		}
+	}
+	return depth <= 0 && strings.Contains(s, "{")
+}
+
+func runQuery(db *a1.DB, g *a1.Graph, doc string) {
+	db.Run(func(c *a1.Ctx) {
+		res, err := db.Query(c, g, doc)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		if res.HasCount {
+			fmt.Printf("count: %d\n", res.Count)
+		}
+		for i, row := range res.Rows {
+			if i >= 20 {
+				fmt.Printf("... %d more rows", len(res.Rows)-20)
+				if res.Continuation != "" {
+					fmt.Printf(" (+ continuation)")
+				}
+				fmt.Println()
+				break
+			}
+			if len(row.Values) == 0 {
+				fmt.Printf("  %v\n", row.Vertex.Addr)
+				continue
+			}
+			var parts []string
+			for k, v := range row.Values {
+				parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+			}
+			fmt.Printf("  %s\n", strings.Join(parts, "  "))
+		}
+		s := res.Stats
+		fmt.Printf("(%d hops, %d vertices, %d objects read, %.0f%% local, %d rpcs)\n",
+			s.Hops, s.VerticesRead, s.ObjectsRead, s.LocalFrac*100, s.RPCs)
+	})
+}
+
+func command(db *a1.DB, g *a1.Graph, cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case ":quit", ":q", ":exit":
+		return false
+	case ":stats":
+		m := &db.Fabric().Metrics
+		fmt.Printf("cluster: %d machines, %d bytes allocated\n", db.Fabric().Machines(), db.UsedBytes())
+		fmt.Printf("fabric: %d local reads, %d remote reads, %d rpcs, %d writes\n",
+			m.LocalReads.Load(), m.RemoteReads.Load(), m.RPCs.Load(), m.RemoteWrites.Load())
+	case ":examples":
+		fmt.Println("-- Q1: actors who worked with Spielberg")
+		fmt.Println(bench.Q1)
+		fmt.Println("-- Q2: actors who played Batman")
+		fmt.Println(bench.Q2)
+		fmt.Println("-- Q3: war movies with Hanks and Spielberg")
+		fmt.Println(bench.Q3)
+	case ":help":
+		fmt.Println(":stats     cluster + fabric counters")
+		fmt.Println(":examples  the paper's Table 2 queries to paste")
+		fmt.Println(":quit      exit")
+	default:
+		fmt.Printf("unknown command %s (:help)\n", cmd)
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "a1shell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Quickstart: the paper's Figure 5 example — films, actors and the Acted
+// relationship — created, queried and updated through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a1"
+)
+
+func main() {
+	// A small in-process cluster: 8 simulated machines, 3-way replication.
+	db, err := a1.Open(a1.Options{Machines: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schemas are Bond structs: numbered, typed fields (paper §3).
+	actor := a1.NewSchema("Actor",
+		a1.Req(0, "name", a1.TString),
+		a1.Opt(1, "origin", a1.TString),
+		a1.Opt(2, "birth_date", a1.TDate),
+	)
+	film := a1.NewSchema("Film",
+		a1.Req(0, "name", a1.TString),
+		a1.Opt(1, "genre", a1.TString),
+		a1.Opt(2, "release_date", a1.TDate),
+	)
+	acted := a1.NewSchema("Acted",
+		a1.Opt(0, "character", a1.TString),
+	)
+
+	db.Run(func(c *a1.Ctx) {
+		// Control plane: tenant -> graph -> types.
+		must(db.CreateTenant(c, "bing"))
+		must(db.CreateGraph(c, "bing", "films"))
+		g, err := db.OpenGraph(c, "bing", "films")
+		must(err)
+		must(g.CreateVertexType(c, "actor", actor, "name", "origin"))
+		must(g.CreateVertexType(c, "film", film, "name"))
+		must(g.CreateEdgeType(c, "acted", acted))
+
+		// Data plane: everything inside one atomic transaction — the film,
+		// the actor and both half-edges commit or abort together, so no
+		// partial edge can ever exist (§1's TAO contrast).
+		var bigPtr, hanksPtr a1.VertexPtr
+		must(db.Transaction(c, func(tx *a1.Tx) error {
+			bigPtr, err = g.CreateVertex(tx, "film", a1.Record(
+				a1.FV(0, a1.Str("Big")),
+				a1.FV(1, a1.Str("comedy")),
+				a1.FV(2, a1.DateDays(6727)),
+			))
+			if err != nil {
+				return err
+			}
+			hanksPtr, err = g.CreateVertex(tx, "actor", a1.Record(
+				a1.FV(0, a1.Str("Tom Hanks")),
+				a1.FV(1, a1.Str("usa")),
+			))
+			if err != nil {
+				return err
+			}
+			return g.CreateEdge(tx, bigPtr, "acted", hanksPtr,
+				a1.Record(a1.FV(0, a1.Str("Josh Baskin"))))
+		}))
+
+		// Point read through the primary index.
+		rtx := db.ReadTransaction(c)
+		vp, ok, err := g.LookupVertex(rtx, "actor", a1.Str("Tom Hanks"))
+		must(err)
+		fmt.Printf("lookup Tom Hanks: found=%v ptr=%v\n", ok, vp.Addr)
+
+		// Edge traversal with data.
+		role, ok, err := g.GetEdge(rtx, bigPtr, "acted", hanksPtr)
+		must(err)
+		ch, _ := role.Field(0)
+		fmt.Printf("edge Big -acted-> Tom Hanks: found=%v character=%s\n", ok, ch)
+
+		// A1QL through the frontend tier: who acted in Big?
+		res, err := db.Query(c, g, `{
+			"id": "Big",
+			"_out_edge": {"_type": "acted", "_vertex": {"_select": ["name", "origin"]}}
+		}`)
+		must(err)
+		for _, row := range res.Rows {
+			fmt.Printf("A1QL row: name=%s origin=%s\n",
+				row.Values["name"], row.Values["origin"])
+		}
+		fmt.Printf("query stats: %d hops, %d objects read, %v\n",
+			res.Stats.Hops, res.Stats.ObjectsRead, res.Stats.Elapsed)
+
+		// Secondary index scan (origin was declared as a secondary index).
+		count := 0
+		must(g.IndexScan(rtx, "actor", "origin", a1.Str("usa"), func(a1.VertexPtr) bool {
+			count++
+			return true
+		}))
+		fmt.Printf("actors from usa (secondary index): %d\n", count)
+	})
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Social graph: a TAO-shaped workload (§1) demonstrating why A1's
+// transactions matter. Friendships are symmetric pairs of directed edges;
+// in an eventually-consistent store the forward link can exist without the
+// backward one, but here both are created in one atomic transaction —
+// concurrent befriend/unfriend storms can never leave a partial edge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"a1"
+)
+
+var userSchema = a1.NewSchema("User",
+	a1.Req(0, "handle", a1.TString),
+	a1.Opt(1, "country", a1.TString),
+	a1.Opt(2, "joined", a1.TDate),
+)
+
+var postSchema = a1.NewSchema("Post",
+	a1.Req(0, "id", a1.TString),
+	a1.Opt(1, "text", a1.TString),
+)
+
+func main() {
+	db, err := a1.Open(a1.Options{Machines: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	var g *a1.Graph
+	db.Run(func(c *a1.Ctx) {
+		must(db.CreateTenant(c, "social"))
+		must(db.CreateGraph(c, "social", "net"))
+		g, err = db.OpenGraph(c, "social", "net")
+		must(err)
+		must(g.CreateVertexType(c, "user", userSchema, "handle", "country"))
+		must(g.CreateVertexType(c, "post", postSchema, "id"))
+		must(g.CreateEdgeType(c, "friend", nil))
+		must(g.CreateEdgeType(c, "authored", nil))
+		must(g.CreateEdgeType(c, "liked", nil))
+
+		// Create users.
+		users := make(map[string]a1.VertexPtr)
+		countries := []string{"us", "no", "jp", "br"}
+		must(db.Transaction(c, func(tx *a1.Tx) error {
+			for i := 0; i < 24; i++ {
+				handle := fmt.Sprintf("user%02d", i)
+				vp, err := g.CreateVertex(tx, "user", a1.Record(
+					a1.FV(0, a1.Str(handle)),
+					a1.FV(1, a1.Str(countries[i%len(countries)])),
+					a1.FV(2, a1.DateDays(int64(19000+i))),
+				))
+				if err != nil {
+					return err
+				}
+				users[handle] = vp
+			}
+			return nil
+		}))
+
+		// befriend makes BOTH directed edges atomically.
+		befriend := func(a, b string) error {
+			return db.Transaction(c, func(tx *a1.Tx) error {
+				if err := g.CreateEdge(tx, users[a], "friend", users[b], a1.Null); err != nil {
+					return err
+				}
+				return g.CreateEdge(tx, users[b], "friend", users[a], a1.Null)
+			})
+		}
+
+		// A concurrent befriend storm: rings and chords, many goroutines.
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					a := fmt.Sprintf("user%02d", (w*6+i)%24)
+					b := fmt.Sprintf("user%02d", (w*6+i+7)%24)
+					if err := befriend(a, b); err != nil {
+						log.Printf("befriend %s-%s: %v", a, b, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Invariant check: friendship is perfectly symmetric everywhere.
+		rtx := db.ReadTransaction(c)
+		asym := 0
+		for _, vp := range users {
+			must(g.EnumerateEdges(rtx, vp, a1.DirOut, "friend", func(he a1.HalfEdge) bool {
+				if _, ok, _ := g.GetEdge(rtx, he.Other, "friend", vp); !ok {
+					asym++
+				}
+				return true
+			}))
+		}
+		fmt.Printf("asymmetric friendships after concurrent storm: %d (must be 0)\n", asym)
+
+		// Posts + likes.
+		must(db.Transaction(c, func(tx *a1.Tx) error {
+			post, err := g.CreateVertex(tx, "post", a1.Record(
+				a1.FV(0, a1.Str("p1")),
+				a1.FV(1, a1.Str("hello graphs")),
+			))
+			if err != nil {
+				return err
+			}
+			if err := g.CreateEdge(tx, users["user00"], "authored", post, a1.Null); err != nil {
+				return err
+			}
+			for _, u := range []string{"user07", "user14", "user21"} {
+				if err := g.CreateEdge(tx, users[u], "liked", post, a1.Null); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+
+		// A1QL: who liked user00's posts?
+		res, err := db.Query(c, g, `{
+			"id": "user00", "_type": "user",
+			"_out_edge": {"_type": "authored", "_vertex": {
+				"_in_edge": {"_type": "liked", "_vertex": {"_select": ["handle", "country"]}}
+			}}
+		}`)
+		must(err)
+		fmt.Println("users who liked user00's posts:")
+		for _, row := range res.Rows {
+			fmt.Printf("  %s (%s)\n", row.Values["handle"], row.Values["country"])
+		}
+
+		// Secondary index: users by country.
+		count := 0
+		must(g.IndexScan(rtx, "user", "country", a1.Str("no"), func(a1.VertexPtr) bool {
+			count++
+			return true
+		}))
+		fmt.Printf("norwegian users via secondary index: %d\n", count)
+
+		// Friends-of-friends traversal for one user.
+		res, err = db.Query(c, g, `{
+			"id": "user00", "_type": "user",
+			"_out_edge": {"_type": "friend", "_vertex": {
+				"_out_edge": {"_type": "friend", "_vertex": {"_select": ["_count(*)"]}}
+			}}
+		}`)
+		must(err)
+		fmt.Printf("friends-of-friends of user00: %d\n", res.Count)
+	})
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

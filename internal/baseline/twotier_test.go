@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"testing"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+	"a1/internal/workload"
+)
+
+func TestTwoTierMatchesA1Traversal(t *testing.T) {
+	fab := fabric.New(fabric.DefaultConfig(8, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "bing")
+	s.CreateGraph(c, "bing", "kg")
+	g, err := s.OpenGraph(c, "bing", "kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := workload.NewFilmKG(workload.TestParams())
+	if err := kg.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+
+	tt := New(fab)
+	n, err := tt.LoadFromGraph(c, g, "entity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != kg.Stats.Vertices {
+		t.Errorf("cache loaded %d records, graph has %d vertices", n, kg.Stats.Vertices)
+	}
+
+	// Oracle: direct A1 traversal of Q1's shape.
+	tx := f.CreateReadTransaction(c)
+	start, _, err := g.LookupVertex(tx, "entity", bond.String("steven.spielberg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	films := map[core.VertexPtr]bool{}
+	g.EnumerateEdges(tx, start, core.DirOut, "director.film", func(he core.HalfEdge) bool {
+		films[he.Other] = true
+		return true
+	})
+	actors := map[farm.Addr]bool{}
+	for f := range films {
+		g.EnumerateEdges(tx, f, core.DirOut, "film.actor", func(he core.HalfEdge) bool {
+			actors[he.Other.Addr] = true
+			return true
+		})
+	}
+
+	got, err := tt.Traverse(c, "steven.spielberg", []string{"director.film", "film.actor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(actors) {
+		t.Errorf("two-tier traversal = %d, A1 oracle = %d", got, len(actors))
+	}
+}
+
+func TestTwoTierMissIsNotFatal(t *testing.T) {
+	fab := fabric.New(fabric.DefaultConfig(4, fabric.Direct), nil)
+	tt := New(fab)
+	c := fab.NewCtx(0, nil)
+	n, err := tt.Traverse(c, "nobody", []string{"x"})
+	if err != nil {
+		t.Fatalf("miss should not error: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("n = %d", n)
+	}
+}

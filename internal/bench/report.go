@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one experiment's regenerated table: a header row plus numeric
+// rows, with free-form notes (paper-vs-measured commentary).
+type Report struct {
+	ID     string // experiment id from DESIGN.md (e.g. "fig10")
+	Title  string
+	Header []string
+	Rows   [][]float64
+	Notes  []string
+}
+
+// Add appends a row.
+func (r *Report) Add(cols ...float64) { r.Rows = append(r.Rows, cols) }
+
+// Note appends a commentary line.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	cells := make([][]string, len(r.Rows))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatCell(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var head []string
+	for i, h := range r.Header {
+		head = append(head, pad(h, widths[i]))
+	}
+	fmt.Fprintln(w, strings.Join(head, "  "))
+	for _, row := range cells {
+		var out []string
+		for i, cell := range row {
+			wdt := 8
+			if i < len(widths) {
+				wdt = widths[i]
+			}
+			out = append(out, pad(cell, wdt))
+		}
+		fmt.Fprintln(w, strings.Join(out, "  "))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,318 @@
+package bond
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var actorSchema = MustSchema("Actor",
+	FReq(0, "name", TString),
+	F(1, "origin", TString),
+	F(2, "birth_date", TDate),
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	cases := []Value{
+		Null,
+		Bool(true), Bool(false),
+		Int32(0), Int32(-1), Int32(math.MaxInt32), Int32(math.MinInt32),
+		Int64(math.MaxInt64), Int64(math.MinInt64),
+		UInt64(0), UInt64(math.MaxUint64),
+		Float(3.5), Float(-0.25),
+		Double(math.Pi), Double(-math.MaxFloat64),
+		String(""), String("tom hanks"), String("日本語\x00binary"),
+		Blob(nil), Blob([]byte{0, 1, 2, 255}),
+		Date(18000), Date(-5),
+	}
+	for _, v := range cases {
+		got, err := Unmarshal(Marshal(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestCompositeRoundTrip(t *testing.T) {
+	v := Struct(
+		FV(0, String("steven.spielberg")),
+		FV(1, List(String("jaws"), String("et"), Int32(1975))),
+		FV(2, Map(
+			MapEntry{Key: String("genre"), Value: String("thriller")},
+			MapEntry{Key: String("awards"), Value: Int32(3)},
+		)),
+		FV(3, Struct(FV(0, Bool(true)))),
+	)
+	got, err := Unmarshal(Marshal(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Errorf("round trip mismatch:\n have %v\n want %v", got, v)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	ok := Struct(FV(0, String("tom")), FV(1, String("usa")), FV(2, Date(100)))
+	if err := actorSchema.Validate(ok); err != nil {
+		t.Errorf("valid value rejected: %v", err)
+	}
+	missingRequired := Struct(FV(1, String("usa")))
+	if err := actorSchema.Validate(missingRequired); err == nil {
+		t.Error("missing required field accepted")
+	}
+	wrongType := Struct(FV(0, String("tom")), FV(2, String("not a date")))
+	if err := actorSchema.Validate(wrongType); err == nil {
+		t.Error("wrong field type accepted")
+	}
+	unknownField := Struct(FV(0, String("tom")), FV(9, Bool(true)))
+	if err := actorSchema.Validate(unknownField); err == nil {
+		t.Error("unknown field accepted")
+	}
+	notStruct := String("tom")
+	if err := actorSchema.Validate(notStruct); err == nil {
+		t.Error("non-struct accepted")
+	}
+}
+
+func TestUnmarshalStructDropsUnknownFields(t *testing.T) {
+	// A newer writer added field 7; an old reader must still decode.
+	newer := Struct(FV(0, String("tom")), FV(7, String("extra")))
+	got, err := UnmarshalStruct(actorSchema, Marshal(newer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Field(7); ok {
+		t.Error("unknown field survived schema decode")
+	}
+	if name, _ := got.Field(0); name.AsString() != "tom" {
+		t.Errorf("name = %v", name)
+	}
+}
+
+func TestMarshalStructValidates(t *testing.T) {
+	if _, err := MarshalStruct(actorSchema, Struct(FV(1, String("no name")))); err == nil {
+		t.Error("MarshalStruct accepted invalid value")
+	}
+}
+
+func TestMapCanonicalOrder(t *testing.T) {
+	a := Map(MapEntry{String("b"), Int32(2)}, MapEntry{String("a"), Int32(1)})
+	b := Map(MapEntry{String("a"), Int32(1)}, MapEntry{String("b"), Int32(2)})
+	if !bytes.Equal(Marshal(a), Marshal(b)) {
+		t.Error("equal maps encode differently")
+	}
+}
+
+func TestStringMapAccess(t *testing.T) {
+	m := StringMap(map[string]string{"character": "Batman", "year": "1989"})
+	v, ok := m.MapGet(String("character"))
+	if !ok || v.AsString() != "Batman" {
+		t.Errorf("MapGet(character) = %v, %v", v, ok)
+	}
+	if _, ok := m.MapGet(String("missing")); ok {
+		t.Error("MapGet on absent key returned ok")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{99},                       // unknown kind
+		{byte(KindInt64)},          // truncated varint
+		{byte(KindString), 200, 1}, // length > input
+		{byte(KindStruct), 2, 5, byte(KindBool), 1, 3, byte(KindBool), 1}, // ids descending
+		append(Marshal(Int32(5)), 0xAA),                                   // trailing bytes
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: garbage %v decoded without error", i, c)
+		}
+	}
+}
+
+// randomValue builds arbitrary values for the property test, bounded in
+// depth so containers stay small.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(12)
+	if depth <= 0 {
+		k = r.Intn(9) // scalars only
+	}
+	switch k {
+	case 0:
+		return Bool(r.Intn(2) == 0)
+	case 1:
+		return Int32(int32(r.Uint32()))
+	case 2:
+		return Int64(int64(r.Uint64()))
+	case 3:
+		return UInt64(r.Uint64())
+	case 4:
+		return Float(float32(r.NormFloat64()))
+	case 5:
+		return Double(r.NormFloat64())
+	case 6:
+		buf := make([]byte, r.Intn(20))
+		r.Read(buf)
+		return String(string(buf))
+	case 7:
+		buf := make([]byte, r.Intn(20))
+		r.Read(buf)
+		return Blob(buf)
+	case 8:
+		return Date(int64(int32(r.Uint32())))
+	case 9:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return List(elems...)
+	case 10:
+		n := r.Intn(4)
+		entries := make([]MapEntry, n)
+		for i := range entries {
+			entries[i] = MapEntry{Key: Int32(int32(i)), Value: randomValue(r, depth-1)}
+		}
+		return Map(entries...)
+	default:
+		n := r.Intn(4)
+		fields := make([]FieldValue, 0, n)
+		for i := 0; i < n; i++ {
+			fields = append(fields, FV(uint16(i*3), randomValue(r, depth-1)))
+		}
+		return Struct(fields...)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		got, err := Unmarshal(Marshal(v))
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderedEncodePreservesOrder(t *testing.T) {
+	gens := []func(r *rand.Rand) Value{
+		func(r *rand.Rand) Value { return Int64(int64(r.Uint64())) },
+		func(r *rand.Rand) Value { return UInt64(r.Uint64()) },
+		func(r *rand.Rand) Value { return Double(r.NormFloat64() * 1e6) },
+		func(r *rand.Rand) Value {
+			buf := make([]byte, r.Intn(12))
+			r.Read(buf)
+			return String(string(buf))
+		},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := gens[r.Intn(len(gens))]
+		a, b := gen(r), gen(r)
+		ea := OrderedEncode(nil, a)
+		eb := OrderedEncode(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a.Less(b):
+			return cmp < 0
+		case b.Less(a):
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 0) // scalars only
+		enc := OrderedEncode(nil, v)
+		got, rest, err := OrderedDecode(enc)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if v.Kind() == KindFloat || v.Kind() == KindDouble {
+			return got.AsFloat() == v.AsFloat()
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedEncodeCompositeKeys(t *testing.T) {
+	// Multi-component keys: (string, int64) pairs must order
+	// component-wise, including strings with embedded zero bytes.
+	k := func(s string, i int64) []byte {
+		b := OrderedEncode(nil, String(s))
+		return OrderedEncode(b, Int64(i))
+	}
+	pairs := [][]byte{
+		k("", -5), k("", 7), k("a", 0), k("a\x00b", 0), k("a\x01", 0), k("ab", -9),
+	}
+	for i := 1; i < len(pairs); i++ {
+		if bytes.Compare(pairs[i-1], pairs[i]) >= 0 {
+			t.Errorf("composite keys %d and %d out of order", i-1, i)
+		}
+	}
+}
+
+func TestWithField(t *testing.T) {
+	v := Struct(FV(0, String("a")), FV(2, Int32(1)))
+	v2 := v.WithField(1, Bool(true))
+	if got, _ := v2.Field(1); !got.AsBool() {
+		t.Error("WithField did not add field 1")
+	}
+	v3 := v2.WithField(0, String("b"))
+	if got, _ := v3.Field(0); got.AsString() != "b" {
+		t.Error("WithField did not replace field 0")
+	}
+	if got, _ := v.Field(0); got.AsString() != "a" {
+		t.Error("WithField mutated the original")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	l := List(Int32(1), Int32(2))
+	if l.Index(0).AsInt() != 1 || l.Index(1).AsInt() != 2 {
+		t.Error("Index broken")
+	}
+	if !l.Index(5).IsNull() || !l.Index(-1).IsNull() {
+		t.Error("out-of-range Index should be null")
+	}
+	if l.Len() != 2 {
+		t.Error("Len broken")
+	}
+	if !reflect.DeepEqual(len(l.Elems()), 2) {
+		t.Error("Elems broken")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	zeros := []Value{Null, Bool(false), Int32(0), String(""), Blob(nil), List(), Struct()}
+	for _, v := range zeros {
+		if !v.IsZero() {
+			t.Errorf("%v not zero", v)
+		}
+	}
+	nonZeros := []Value{Bool(true), Int32(1), String("x"), List(Int32(0))}
+	for _, v := range nonZeros {
+		if v.IsZero() {
+			t.Errorf("%v is zero", v)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package bond
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compact binary encoding, modelled on Bond's compact binary protocol:
+// self-describing (each value is tagged with its kind), varint-compressed
+// integers with zigzag for signed kinds, and length-prefixed strings, blobs
+// and containers. Struct fields are encoded as (id varint, value) pairs in
+// ascending ID order so equal values have identical encodings.
+
+// Marshal encodes a value.
+func Marshal(v Value) []byte {
+	var b []byte
+	return appendValue(b, v)
+}
+
+// MarshalStruct validates v against the schema and encodes it.
+func MarshalStruct(s *Schema, v Value) ([]byte, error) {
+	if err := s.Validate(v); err != nil {
+		return nil, err
+	}
+	return Marshal(v), nil
+}
+
+// Unmarshal decodes a value produced by Marshal.
+func Unmarshal(data []byte) (Value, error) {
+	v, rest, err := decodeValue(data)
+	if err != nil {
+		return Null, err
+	}
+	if len(rest) != 0 {
+		return Null, fmt.Errorf("bond: %d trailing bytes", len(rest))
+	}
+	return v, nil
+}
+
+// UnmarshalStruct decodes and validates against the schema. Unknown fields
+// (from a newer schema version) are dropped rather than rejected, giving
+// the forward compatibility Bond provides.
+func UnmarshalStruct(s *Schema, data []byte) (Value, error) {
+	v, err := Unmarshal(data)
+	if err != nil {
+		return Null, err
+	}
+	if v.Kind() != KindStruct {
+		return Null, fmt.Errorf("bond: schema %q: decoded %v, want struct", s.Name, v.Kind())
+	}
+	kept := v.fields[:0:0]
+	for _, f := range v.fields {
+		if _, ok := s.FieldByID(f.ID); ok {
+			kept = append(kept, f)
+		}
+	}
+	v = Value{kind: KindStruct, fields: kept}
+	if err := s.Validate(v); err != nil {
+		return Null, err
+	}
+	return v, nil
+}
+
+func appendUvarint(b []byte, u uint64) []byte {
+	return binary.AppendUvarint(b, u)
+}
+
+func appendZigzag(b []byte, i int64) []byte {
+	return binary.AppendUvarint(b, uint64(i<<1)^uint64(i>>63))
+}
+
+func appendValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindNone:
+	case KindBool:
+		b = append(b, byte(v.num))
+	case KindInt32, KindInt64, KindDate:
+		b = appendZigzag(b, int64(v.num))
+	case KindUInt64:
+		b = appendUvarint(b, v.num)
+	case KindFloat:
+		b = binary.LittleEndian.AppendUint32(b, uint32(v.num))
+	case KindDouble:
+		b = binary.LittleEndian.AppendUint64(b, v.num)
+	case KindString:
+		b = appendUvarint(b, uint64(len(v.str)))
+		b = append(b, v.str...)
+	case KindBlob:
+		b = appendUvarint(b, uint64(len(v.blob)))
+		b = append(b, v.blob...)
+	case KindList:
+		b = appendUvarint(b, uint64(len(v.list)))
+		for _, e := range v.list {
+			b = appendValue(b, e)
+		}
+	case KindMap:
+		b = appendUvarint(b, uint64(len(v.kv)))
+		for _, e := range v.kv {
+			b = appendValue(b, e.Key)
+			b = appendValue(b, e.Value)
+		}
+	case KindStruct:
+		b = appendUvarint(b, uint64(len(v.fields)))
+		for _, f := range v.fields {
+			b = appendUvarint(b, uint64(f.ID))
+			b = appendValue(b, f.Value)
+		}
+	default:
+		panic(fmt.Sprintf("bond: cannot encode kind %v", v.kind))
+	}
+	return b
+}
+
+var errTruncated = fmt.Errorf("bond: truncated input")
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errTruncated
+	}
+	return u, b[n:], nil
+}
+
+func readZigzag(b []byte) (int64, []byte, error) {
+	u, rest, err := readUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int64(u>>1) ^ -int64(u&1), rest, nil
+}
+
+const maxDecodeLen = 1 << 28 // defensive cap against corrupt length prefixes
+
+func decodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Null, nil, errTruncated
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindNone:
+		return Null, b, nil
+	case KindBool:
+		if len(b) < 1 {
+			return Null, nil, errTruncated
+		}
+		return Bool(b[0] != 0), b[1:], nil
+	case KindInt32, KindInt64, KindDate:
+		i, rest, err := readZigzag(b)
+		if err != nil {
+			return Null, nil, err
+		}
+		return Value{kind: kind, num: uint64(i)}, rest, nil
+	case KindUInt64:
+		u, rest, err := readUvarint(b)
+		if err != nil {
+			return Null, nil, err
+		}
+		return UInt64(u), rest, nil
+	case KindFloat:
+		if len(b) < 4 {
+			return Null, nil, errTruncated
+		}
+		return Value{kind: KindFloat, num: uint64(binary.LittleEndian.Uint32(b))}, b[4:], nil
+	case KindDouble:
+		if len(b) < 8 {
+			return Null, nil, errTruncated
+		}
+		return Double(math.Float64frombits(binary.LittleEndian.Uint64(b))), b[8:], nil
+	case KindString, KindBlob:
+		n, rest, err := readUvarint(b)
+		if err != nil {
+			return Null, nil, err
+		}
+		if n > maxDecodeLen || uint64(len(rest)) < n {
+			return Null, nil, errTruncated
+		}
+		if kind == KindString {
+			return String(string(rest[:n])), rest[n:], nil
+		}
+		blob := make([]byte, n)
+		copy(blob, rest[:n])
+		return Blob(blob), rest[n:], nil
+	case KindList:
+		n, rest, err := readUvarint(b)
+		if err != nil {
+			return Null, nil, err
+		}
+		if n > maxDecodeLen {
+			return Null, nil, errTruncated
+		}
+		elems := make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e Value
+			e, rest, err = decodeValue(rest)
+			if err != nil {
+				return Null, nil, err
+			}
+			elems = append(elems, e)
+		}
+		return Value{kind: KindList, list: elems}, rest, nil
+	case KindMap:
+		n, rest, err := readUvarint(b)
+		if err != nil {
+			return Null, nil, err
+		}
+		if n > maxDecodeLen {
+			return Null, nil, errTruncated
+		}
+		kv := make([]MapEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var k, v Value
+			k, rest, err = decodeValue(rest)
+			if err != nil {
+				return Null, nil, err
+			}
+			v, rest, err = decodeValue(rest)
+			if err != nil {
+				return Null, nil, err
+			}
+			kv = append(kv, MapEntry{Key: k, Value: v})
+		}
+		return Value{kind: KindMap, kv: kv}, rest, nil
+	case KindStruct:
+		n, rest, err := readUvarint(b)
+		if err != nil {
+			return Null, nil, err
+		}
+		if n > maxDecodeLen {
+			return Null, nil, errTruncated
+		}
+		fields := make([]FieldValue, 0, n)
+		prev := -1
+		for i := uint64(0); i < n; i++ {
+			var id uint64
+			id, rest, err = readUvarint(rest)
+			if err != nil {
+				return Null, nil, err
+			}
+			if id > math.MaxUint16 || int(id) <= prev {
+				return Null, nil, fmt.Errorf("bond: struct field ids not strictly ascending")
+			}
+			prev = int(id)
+			var fv Value
+			fv, rest, err = decodeValue(rest)
+			if err != nil {
+				return Null, nil, err
+			}
+			fields = append(fields, FieldValue{ID: uint16(id), Value: fv})
+		}
+		return Value{kind: KindStruct, fields: fields}, rest, nil
+	default:
+		return Null, nil, fmt.Errorf("bond: unknown kind byte %d", kind)
+	}
+}

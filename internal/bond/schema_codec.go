@@ -1,0 +1,119 @@
+package bond
+
+import "fmt"
+
+// Schema (de)serialization: A1 stores type definitions in its catalog, so
+// schemas themselves must round-trip through the binary codec. A schema is
+// encoded as a struct value over a small meta-schema.
+
+const (
+	metaSchemaName   = 0
+	metaSchemaFields = 1
+
+	metaFieldID       = 0
+	metaFieldName     = 1
+	metaFieldRequired = 2
+	metaFieldType     = 3
+
+	metaTypeKind   = 0
+	metaTypeKey    = 1
+	metaTypeElem   = 2
+	metaTypeStruct = 3
+)
+
+// EncodeSchema serializes a schema.
+func EncodeSchema(s *Schema) []byte {
+	return Marshal(schemaValue(s))
+}
+
+func schemaValue(s *Schema) Value {
+	fields := make([]Value, 0, len(s.Fields))
+	for _, f := range s.Fields {
+		fields = append(fields, Struct(
+			FV(metaFieldID, UInt64(uint64(f.ID))),
+			FV(metaFieldName, String(f.Name)),
+			FV(metaFieldRequired, Bool(f.Required)),
+			FV(metaFieldType, typeValue(f.Type)),
+		))
+	}
+	return Struct(
+		FV(metaSchemaName, String(s.Name)),
+		FV(metaSchemaFields, List(fields...)),
+	)
+}
+
+func typeValue(t Type) Value {
+	fs := []FieldValue{FV(metaTypeKind, UInt64(uint64(t.Kind)))}
+	if t.Key != nil {
+		fs = append(fs, FV(metaTypeKey, typeValue(*t.Key)))
+	}
+	if t.Elem != nil {
+		fs = append(fs, FV(metaTypeElem, typeValue(*t.Elem)))
+	}
+	if t.Struct != nil {
+		fs = append(fs, FV(metaTypeStruct, schemaValue(t.Struct)))
+	}
+	return Struct(fs...)
+}
+
+// DecodeSchema reverses EncodeSchema.
+func DecodeSchema(data []byte) (*Schema, error) {
+	v, err := Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return schemaFromValue(v)
+}
+
+func schemaFromValue(v Value) (*Schema, error) {
+	name, _ := v.Field(metaSchemaName)
+	fieldList, _ := v.Field(metaSchemaFields)
+	fields := make([]Field, 0, fieldList.Len())
+	for _, fv := range fieldList.Elems() {
+		id, _ := fv.Field(metaFieldID)
+		fname, _ := fv.Field(metaFieldName)
+		req, _ := fv.Field(metaFieldRequired)
+		tv, ok := fv.Field(metaFieldType)
+		if !ok {
+			return nil, fmt.Errorf("bond: schema field %q missing type", fname.AsString())
+		}
+		ft, err := typeFromValue(tv)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{
+			ID:       uint16(id.AsUint()),
+			Name:     fname.AsString(),
+			Required: req.AsBool(),
+			Type:     ft,
+		})
+	}
+	return NewSchema(name.AsString(), fields...)
+}
+
+func typeFromValue(v Value) (Type, error) {
+	kind, _ := v.Field(metaTypeKind)
+	t := Type{Kind: Kind(kind.AsUint())}
+	if kv, ok := v.Field(metaTypeKey); ok {
+		key, err := typeFromValue(kv)
+		if err != nil {
+			return Type{}, err
+		}
+		t.Key = &key
+	}
+	if ev, ok := v.Field(metaTypeElem); ok {
+		elem, err := typeFromValue(ev)
+		if err != nil {
+			return Type{}, err
+		}
+		t.Elem = &elem
+	}
+	if sv, ok := v.Field(metaTypeStruct); ok {
+		s, err := schemaFromValue(sv)
+		if err != nil {
+			return Type{}, err
+		}
+		t.Struct = s
+	}
+	return t, nil
+}

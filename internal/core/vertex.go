@@ -1,0 +1,586 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"a1/internal/bond"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+// Vertex storage (paper §3.2, Figure 6): a vertex is two FaRM objects — a
+// fixed-size header and a variable-length Bond-serialized data object. The
+// header holds the type, a pointer to the data, and the incoming/outgoing
+// edge list references. As the vertex gains edges or new data the header
+// contents change but its address — the "vertex pointer" every index and
+// half-edge refers to — never does. Data and edge lists are allocated in
+// the header's region (locality), while headers themselves are placed on a
+// random machine across the cluster.
+
+// vertexHdrSize is the encoded header payload length.
+const vertexHdrSize = 52
+
+// header flag bits.
+const (
+	flagOutSpilled = 1 << 0 // outgoing edges live in the global B-tree
+	flagInSpilled  = 1 << 1 // incoming edges live in the global B-tree
+)
+
+// vertexHdr is the decoded header.
+type vertexHdr struct {
+	typeID   uint32
+	flags    uint32
+	data     farm.Ptr
+	outList  farm.Ptr // inline half-edge array (when not spilled)
+	outCount uint32
+	inList   farm.Ptr
+	inCount  uint32
+}
+
+func (h *vertexHdr) encode(dst []byte) {
+	binary.LittleEndian.PutUint32(dst[0:], h.typeID)
+	binary.LittleEndian.PutUint32(dst[4:], h.flags)
+	putPtr(dst[8:], h.data)
+	putPtr(dst[20:], h.outList)
+	binary.LittleEndian.PutUint32(dst[32:], h.outCount)
+	putPtr(dst[36:], h.inList)
+	binary.LittleEndian.PutUint32(dst[48:], h.inCount)
+}
+
+func decodeVertexHdr(b []byte) (*vertexHdr, error) {
+	if len(b) < vertexHdrSize {
+		return nil, fmt.Errorf("a1: short vertex header (%d bytes)", len(b))
+	}
+	return &vertexHdr{
+		typeID:   binary.LittleEndian.Uint32(b[0:]),
+		flags:    binary.LittleEndian.Uint32(b[4:]),
+		data:     getPtr(b[8:]),
+		outList:  getPtr(b[20:]),
+		outCount: binary.LittleEndian.Uint32(b[32:]),
+		inList:   getPtr(b[36:]),
+		inCount:  binary.LittleEndian.Uint32(b[48:]),
+	}, nil
+}
+
+func putPtr(dst []byte, p farm.Ptr) {
+	binary.LittleEndian.PutUint64(dst[0:], uint64(p.Addr))
+	binary.LittleEndian.PutUint32(dst[8:], p.Size)
+}
+
+func getPtr(b []byte) farm.Ptr {
+	return farm.Ptr{
+		Addr: farm.Addr(binary.LittleEndian.Uint64(b[0:])),
+		Size: binary.LittleEndian.Uint32(b[8:]),
+	}
+}
+
+// VertexPtr identifies a vertex: the fat pointer to its header object.
+type VertexPtr = farm.Ptr
+
+// Vertex is a materialized vertex.
+type Vertex struct {
+	Ptr      VertexPtr
+	TypeID   uint32
+	TypeName string
+	Data     bond.Value
+	OutCount int
+	InCount  int
+}
+
+// pkOf extracts and validates the primary key from a vertex value.
+func pkOf(vt *vertexTypeMeta, val bond.Value) (bond.Value, error) {
+	pk, ok := val.Field(vt.PKField)
+	if !ok || pk.IsZero() {
+		f, _ := vt.Schema.FieldByID(vt.PKField)
+		return bond.Null, fmt.Errorf("%w: primary key %q missing or null", ErrBadSchema, f.Name)
+	}
+	return pk, nil
+}
+
+// pkIndexKey is the primary index key encoding.
+func pkIndexKey(pk bond.Value) []byte { return bond.OrderedEncode(nil, pk) }
+
+// secIndexKey is the secondary index key: attribute value followed by the
+// vertex address (secondary keys are non-unique, §3).
+func secIndexKey(attr bond.Value, vp farm.Ptr) []byte {
+	k := bond.OrderedEncode(nil, attr)
+	return binary.BigEndian.AppendUint64(k, uint64(vp.Addr))
+}
+
+func ptrValue(p farm.Ptr) []byte {
+	var b [12]byte
+	putPtr(b[:], p)
+	return b[:]
+}
+
+func valuePtr(b []byte) farm.Ptr {
+	if len(b) < 12 {
+		return farm.NilPtr
+	}
+	return getPtr(b)
+}
+
+// CreateVertex inserts a vertex of the named type inside tx. The value must
+// conform to the type's schema and carry a unique, non-null primary key.
+// Returns the new vertex pointer.
+func (g *Graph) CreateVertex(tx *farm.Tx, typeName string, val bond.Value) (VertexPtr, error) {
+	c := tx.Ctx()
+	if _, err := g.requireActive(c); err != nil {
+		return farm.NilPtr, err
+	}
+	vt, err := g.vertexType(c, typeName)
+	if err != nil {
+		return farm.NilPtr, err
+	}
+	if err := vt.Schema.Validate(val); err != nil {
+		return farm.NilPtr, fmt.Errorf("%w: %v", ErrBadSchema, err)
+	}
+	pk, err := pkOf(vt, val)
+	if err != nil {
+		return farm.NilPtr, err
+	}
+	primary := farm.OpenBTree(g.store.farm, vt.Primary)
+	pkKey := pkIndexKey(pk)
+	if _, exists, err := primary.Get(tx, pkKey); err != nil {
+		return farm.NilPtr, err
+	} else if exists {
+		return farm.NilPtr, fmt.Errorf("%w: %s %v", ErrExists, typeName, pk)
+	}
+	// Header on a (randomly) chosen machine; data co-located with it.
+	target := g.store.placementTarget(c)
+	hdrBuf, err := tx.AllocOn(target, vertexHdrSize)
+	if err != nil {
+		return farm.NilPtr, err
+	}
+	dataBytes := bond.Marshal(val)
+	dataBuf, err := tx.Alloc(uint32(len(dataBytes)), hdrBuf.Addr())
+	if err != nil {
+		return farm.NilPtr, err
+	}
+	copy(dataBuf.Data(), dataBytes)
+	hdr := &vertexHdr{typeID: vt.ID, data: dataBuf.Ptr()}
+	hdr.encode(hdrBuf.Data())
+	vp := hdrBuf.Ptr()
+	if err := primary.Put(tx, pkKey, ptrValue(vp)); err != nil {
+		return farm.NilPtr, err
+	}
+	for _, si := range vt.Secondary {
+		attr, ok := val.Field(si.FieldID)
+		if !ok || attr.IsNull() {
+			continue
+		}
+		st := farm.OpenBTree(g.store.farm, si.Tree)
+		if err := st.Put(tx, secIndexKey(attr, vp), ptrValue(vp)); err != nil {
+			return farm.NilPtr, err
+		}
+	}
+	if l := g.store.updateLogger(); l != nil {
+		if err := l.LogVertexPut(tx, g.tenant, g.name, typeName, pk, val); err != nil {
+			return farm.NilPtr, err
+		}
+	}
+	return vp, nil
+}
+
+// LookupVertex finds a vertex by ⟨type, primary key⟩ through the primary
+// index (paper §3: the unique vertex identity).
+func (g *Graph) LookupVertex(tx *farm.Tx, typeName string, pk bond.Value) (VertexPtr, bool, error) {
+	vt, err := g.vertexType(tx.Ctx(), typeName)
+	if err != nil {
+		return farm.NilPtr, false, err
+	}
+	primary := farm.OpenBTree(g.store.farm, vt.Primary)
+	v, ok, err := primary.Get(tx, pkIndexKey(pk))
+	if err != nil || !ok {
+		return farm.NilPtr, false, err
+	}
+	return valuePtr(v), true, nil
+}
+
+// readHeader fetches and decodes a vertex header.
+func (g *Graph) readHeader(tx *farm.Tx, vp VertexPtr) (*farm.ObjBuf, *vertexHdr, error) {
+	buf, err := tx.ReadSized(vp.Addr, vertexHdrSize)
+	if err != nil {
+		if err == farm.ErrNotFound {
+			return nil, nil, ErrNotFound
+		}
+		return nil, nil, err
+	}
+	hdr, err := decodeVertexHdr(buf.Data())
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, hdr, nil
+}
+
+// ReadVertex materializes a vertex: header read plus data read — the two
+// consecutive RDMA reads of §3.2.
+func (g *Graph) ReadVertex(tx *farm.Tx, vp VertexPtr) (*Vertex, error) {
+	c := tx.Ctx()
+	_, hdr, err := g.readHeader(tx, vp)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := g.store.typeDir(c, g.tenant, g.name)
+	if err != nil {
+		return nil, err
+	}
+	vt, ok := dir.vByID[hdr.typeID]
+	if !ok {
+		return nil, fmt.Errorf("%w: vertex type id %d", ErrNoSuchType, hdr.typeID)
+	}
+	dataBuf, err := tx.Read(hdr.data)
+	if err != nil {
+		return nil, err
+	}
+	val, err := bond.UnmarshalStruct(vt.Schema, dataBuf.Data())
+	if err != nil {
+		return nil, err
+	}
+	return &Vertex{
+		Ptr:      vp,
+		TypeID:   hdr.typeID,
+		TypeName: vt.Name,
+		Data:     val,
+		OutCount: int(hdr.outCount),
+		InCount:  int(hdr.inCount),
+	}, nil
+}
+
+// UpdateVertex replaces a vertex's attribute data. The primary key must not
+// change. Secondary index entries are kept consistent transactionally.
+func (g *Graph) UpdateVertex(tx *farm.Tx, vp VertexPtr, newVal bond.Value) error {
+	c := tx.Ctx()
+	if _, err := g.requireActive(c); err != nil {
+		return err
+	}
+	hdrBuf, hdr, err := g.readHeader(tx, vp)
+	if err != nil {
+		return err
+	}
+	dir, err := g.store.typeDir(c, g.tenant, g.name)
+	if err != nil {
+		return err
+	}
+	vt, ok := dir.vByID[hdr.typeID]
+	if !ok {
+		return fmt.Errorf("%w: vertex type id %d", ErrNoSuchType, hdr.typeID)
+	}
+	if err := vt.Schema.Validate(newVal); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSchema, err)
+	}
+	oldBuf, err := tx.Read(hdr.data)
+	if err != nil {
+		return err
+	}
+	oldVal, err := bond.UnmarshalStruct(vt.Schema, oldBuf.Data())
+	if err != nil {
+		return err
+	}
+	oldPK, _ := oldVal.Field(vt.PKField)
+	newPK, err := pkOf(vt, newVal)
+	if err != nil {
+		return err
+	}
+	if !oldPK.Equal(newPK) {
+		return ErrImmutablePK
+	}
+	newBytes := bond.Marshal(newVal)
+	newDataPtr := hdr.data
+	if uint32(len(newBytes)) <= oldBuf.Cap() {
+		w, err := tx.OpenForWrite(oldBuf)
+		if err != nil {
+			return err
+		}
+		if err := w.Resize(uint32(len(newBytes))); err != nil {
+			return err
+		}
+		copy(w.Data(), newBytes)
+		newDataPtr = w.Ptr()
+	} else {
+		// Grown beyond the slot: allocate a fresh data object in the same
+		// region and re-link the header (FaRM objects have fixed capacity).
+		nb, err := tx.Alloc(uint32(len(newBytes)), vp.Addr)
+		if err != nil {
+			return err
+		}
+		copy(nb.Data(), newBytes)
+		if err := tx.Free(oldBuf); err != nil {
+			return err
+		}
+		newDataPtr = nb.Ptr()
+	}
+	if newDataPtr != hdr.data {
+		w, err := tx.OpenForWrite(hdrBuf)
+		if err != nil {
+			return err
+		}
+		hdr.data = newDataPtr
+		hdr.encode(w.Data())
+	}
+	// Reconcile secondary indexes for changed attributes.
+	for _, si := range vt.Secondary {
+		oldAttr, oldOK := oldVal.Field(si.FieldID)
+		newAttr, newOK := newVal.Field(si.FieldID)
+		if oldOK == newOK && (!oldOK || oldAttr.Equal(newAttr)) {
+			continue
+		}
+		st := farm.OpenBTree(g.store.farm, si.Tree)
+		if oldOK && !oldAttr.IsNull() {
+			if _, err := st.Delete(tx, secIndexKey(oldAttr, vp)); err != nil {
+				return err
+			}
+		}
+		if newOK && !newAttr.IsNull() {
+			if err := st.Put(tx, secIndexKey(newAttr, vp), ptrValue(vp)); err != nil {
+				return err
+			}
+		}
+	}
+	if l := g.store.updateLogger(); l != nil {
+		if err := l.LogVertexPut(tx, g.tenant, g.name, vt.Name, newPK, newVal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteVertex removes a vertex and every edge attached to it: the
+// incoming and outgoing half-edge lists identify all remote half-edges
+// that must be removed so that no dangling edge survives (paper §3.2).
+func (g *Graph) DeleteVertex(tx *farm.Tx, vp VertexPtr) error {
+	c := tx.Ctx()
+	// Deletes stay legal while the graph is in the Deleting state: the
+	// asynchronous DeleteGraph workflow itself drains vertices (§3.3).
+	if _, err := g.meta(c); err != nil {
+		return err
+	}
+	hdrBuf, hdr, err := g.readHeader(tx, vp)
+	if err != nil {
+		return err
+	}
+	dir, err := g.store.typeDir(c, g.tenant, g.name)
+	if err != nil {
+		return err
+	}
+	vt, ok := dir.vByID[hdr.typeID]
+	if !ok {
+		return fmt.Errorf("%w: vertex type id %d", ErrNoSuchType, hdr.typeID)
+	}
+	dataBuf, err := tx.Read(hdr.data)
+	if err != nil {
+		return err
+	}
+	val, err := bond.UnmarshalStruct(vt.Schema, dataBuf.Data())
+	if err != nil {
+		return err
+	}
+	pk, _ := val.Field(vt.PKField)
+
+	gm, err := g.meta(c)
+	if err != nil {
+		return err
+	}
+	// Collect both half-edge lists, then detach the remote ends.
+	var outs, ins []HalfEdge
+	if err := g.enumerateHalfEdges(tx, gm, vp, hdr, DirOut, 0, func(he HalfEdge) bool {
+		outs = append(outs, he)
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := g.enumerateHalfEdges(tx, gm, vp, hdr, DirIn, 0, func(he HalfEdge) bool {
+		ins = append(ins, he)
+		return true
+	}); err != nil {
+		return err
+	}
+	freedData := map[farm.Addr]bool{}
+	for _, he := range outs {
+		if he.Other.Addr != vp.Addr {
+			if err := g.removeHalfEdge(tx, gm, he.Other, DirIn, he.TypeID, vp); err != nil {
+				return err
+			}
+		}
+		if err := g.freeEdgeData(tx, he.Data, freedData); err != nil {
+			return err
+		}
+		if l := g.store.updateLogger(); l != nil {
+			key, kerr := g.edgeIdentity(tx, dir, vp, vt, pk, he, DirOut)
+			if kerr == nil {
+				if err := l.LogEdgeDelete(tx, g.tenant, g.name, key); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, he := range ins {
+		if he.Other.Addr != vp.Addr {
+			if err := g.removeHalfEdge(tx, gm, he.Other, DirOut, he.TypeID, vp); err != nil {
+				return err
+			}
+			if l := g.store.updateLogger(); l != nil {
+				key, kerr := g.edgeIdentity(tx, dir, vp, vt, pk, he, DirIn)
+				if kerr == nil {
+					if err := l.LogEdgeDelete(tx, g.tenant, g.name, key); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if err := g.freeEdgeData(tx, he.Data, freedData); err != nil {
+			return err
+		}
+	}
+	// Drop this vertex's own edge-list storage.
+	if err := g.dropEdgeLists(tx, gm, vp, hdr); err != nil {
+		return err
+	}
+	// Remove index entries.
+	primary := farm.OpenBTree(g.store.farm, vt.Primary)
+	if _, err := primary.Delete(tx, pkIndexKey(pk)); err != nil {
+		return err
+	}
+	for _, si := range vt.Secondary {
+		attr, ok := val.Field(si.FieldID)
+		if !ok || attr.IsNull() {
+			continue
+		}
+		st := farm.OpenBTree(g.store.farm, si.Tree)
+		if _, err := st.Delete(tx, secIndexKey(attr, vp)); err != nil {
+			return err
+		}
+	}
+	// Free data + header.
+	if err := tx.Free(dataBuf); err != nil {
+		return err
+	}
+	if err := tx.Free(hdrBuf); err != nil {
+		return err
+	}
+	if l := g.store.updateLogger(); l != nil {
+		if err := l.LogVertexDelete(tx, g.tenant, g.name, vt.Name, pk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freeEdgeData frees an edge's data object exactly once.
+func (g *Graph) freeEdgeData(tx *farm.Tx, p farm.Ptr, seen map[farm.Addr]bool) error {
+	if p.IsNil() || seen[p.Addr] {
+		return nil
+	}
+	seen[p.Addr] = true
+	buf, err := tx.Read(p)
+	if err != nil {
+		if err == farm.ErrNotFound {
+			return nil
+		}
+		return err
+	}
+	return tx.Free(buf)
+}
+
+// VertexPK returns a vertex's ⟨type name, primary key⟩ identity.
+func (g *Graph) VertexPK(tx *farm.Tx, vp VertexPtr) (string, bond.Value, error) {
+	v, err := g.ReadVertex(tx, vp)
+	if err != nil {
+		return "", bond.Null, err
+	}
+	dir, err := g.store.typeDir(tx.Ctx(), g.tenant, g.name)
+	if err != nil {
+		return "", bond.Null, err
+	}
+	vt := dir.vByID[v.TypeID]
+	pk, _ := v.Data.Field(vt.PKField)
+	return v.TypeName, pk, nil
+}
+
+// ScanVerticesByType visits every vertex of a type in primary key order.
+func (g *Graph) ScanVerticesByType(tx *farm.Tx, typeName string, fn func(pk bond.Value, vp VertexPtr) bool) error {
+	vt, err := g.vertexType(tx.Ctx(), typeName)
+	if err != nil {
+		return err
+	}
+	primary := farm.OpenBTree(g.store.farm, vt.Primary)
+	var scanErr error
+	err = primary.Scan(tx, nil, nil, func(k, v []byte) bool {
+		pk, _, err := bond.OrderedDecode(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(pk, valuePtr(v))
+	})
+	if err == nil {
+		err = scanErr
+	}
+	return err
+}
+
+// IndexScan visits vertices whose secondary-indexed attribute equals value.
+func (g *Graph) IndexScan(tx *farm.Tx, typeName, fieldName string, value bond.Value, fn func(vp VertexPtr) bool) error {
+	vt, err := g.vertexType(tx.Ctx(), typeName)
+	if err != nil {
+		return err
+	}
+	f, ok := vt.Schema.FieldByName(fieldName)
+	if !ok {
+		return fmt.Errorf("%w: field %q", ErrBadSchema, fieldName)
+	}
+	for _, si := range vt.Secondary {
+		if si.FieldID != f.ID {
+			continue
+		}
+		st := farm.OpenBTree(g.store.farm, si.Tree)
+		prefix := bond.OrderedEncode(nil, value)
+		return st.Scan(tx, prefix, prefixEnd(prefix), func(_, v []byte) bool {
+			return fn(valuePtr(v))
+		})
+	}
+	return fmt.Errorf("%w: no secondary index on %s.%s", ErrNotFound, typeName, fieldName)
+}
+
+// IndexRangeScan visits vertices whose secondary-indexed attribute lies in
+// [lo, hi) — an extension beyond the paper's equality lookups.
+func (g *Graph) IndexRangeScan(tx *farm.Tx, typeName, fieldName string, lo, hi bond.Value, fn func(vp VertexPtr) bool) error {
+	vt, err := g.vertexType(tx.Ctx(), typeName)
+	if err != nil {
+		return err
+	}
+	f, ok := vt.Schema.FieldByName(fieldName)
+	if !ok {
+		return fmt.Errorf("%w: field %q", ErrBadSchema, fieldName)
+	}
+	for _, si := range vt.Secondary {
+		if si.FieldID != f.ID {
+			continue
+		}
+		st := farm.OpenBTree(g.store.farm, si.Tree)
+		var from, to []byte
+		if !lo.IsNull() {
+			from = bond.OrderedEncode(nil, lo)
+		}
+		if !hi.IsNull() {
+			to = bond.OrderedEncode(nil, hi)
+		}
+		return st.Scan(tx, from, to, func(_, v []byte) bool {
+			return fn(valuePtr(v))
+		})
+	}
+	return fmt.Errorf("%w: no secondary index on %s.%s", ErrNotFound, typeName, fieldName)
+}
+
+// CountVertices returns the number of vertices of a type (primary index
+// cardinality).
+func (g *Graph) CountVertices(c *fabric.Ctx, typeName string) (int, error) {
+	tx := g.store.farm.CreateReadTransaction(c)
+	vt, err := g.vertexType(c, typeName)
+	if err != nil {
+		return 0, err
+	}
+	primary := farm.OpenBTree(g.store.farm, vt.Primary)
+	return primary.Count(tx, nil, nil)
+}

@@ -1,0 +1,233 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"a1/internal/sim"
+)
+
+func simFabric(t *testing.T, machines int) (*Fabric, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv(7)
+	cfg := DefaultConfig(machines, Sim)
+	return New(cfg, env), env
+}
+
+func TestIntraRackReadLatency(t *testing.T) {
+	f, env := simFabric(t, 32)
+	var lat time.Duration
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		// Machine 0 and machine f.cfg.Racks share rack 0 (round-robin).
+		target := MachineID(f.Config().Racks)
+		if !f.SameRack(0, target) {
+			t.Fatalf("expected same rack for 0 and %d", target)
+		}
+		start := c.Now()
+		if err := c.ReadRemote(target, 256); err != nil {
+			t.Fatal(err)
+		}
+		lat = c.Now() - start
+	})
+	if lat < 2*time.Microsecond || lat > 8*time.Microsecond {
+		t.Errorf("intra-rack 256B read = %v, want ~3-5us", lat)
+	}
+}
+
+func TestCrossRackReadSlower(t *testing.T) {
+	f, env := simFabric(t, 32)
+	var intra, cross time.Duration
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		sameRack := MachineID(f.Config().Racks) // same rack as 0
+		otherRack := MachineID(1)               // rack 1
+		if f.SameRack(0, otherRack) {
+			t.Fatal("machine 1 unexpectedly in rack 0")
+		}
+		start := c.Now()
+		c.ReadRemote(sameRack, 256)
+		intra = c.Now() - start
+		start = c.Now()
+		c.ReadRemote(otherRack, 256)
+		cross = c.Now() - start
+	})
+	if cross <= intra {
+		t.Errorf("cross-rack read (%v) should exceed intra-rack (%v)", cross, intra)
+	}
+	if cross > 25*time.Microsecond {
+		t.Errorf("cross-rack read = %v, want < 25us per paper", cross)
+	}
+}
+
+func TestLocalReadIsCheap(t *testing.T) {
+	f, env := simFabric(t, 8)
+	var local, remote time.Duration
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		start := c.Now()
+		c.ReadRemote(0, 256)
+		local = c.Now() - start
+		start = c.Now()
+		c.ReadRemote(1, 256)
+		remote = c.Now() - start
+	})
+	if local == 0 || remote/local < 10 {
+		t.Errorf("remote/local ratio = %v/%v, want >= 10x (paper: 20x-100x)", remote, local)
+	}
+}
+
+func TestOpStatsAccounting(t *testing.T) {
+	f, env := simFabric(t, 8)
+	var stats OpStats
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p).WithStats(&stats)
+		c.ReadRemote(0, 100) // local
+		c.ReadRemote(1, 100) // remote
+		c.ReadRemote(2, 100) // remote
+	})
+	if got := stats.LocalReads.Load(); got != 1 {
+		t.Errorf("local reads = %d, want 1", got)
+	}
+	if got := stats.RemoteReads.Load(); got != 2 {
+		t.Errorf("remote reads = %d, want 2", got)
+	}
+	if stats.RDMAReadTime.Load() <= 0 {
+		t.Error("RDMA read time not accounted")
+	}
+	if f := stats.LocalFraction(); f < 0.3 || f > 0.4 {
+		t.Errorf("local fraction = %v, want 1/3", f)
+	}
+}
+
+func TestRPCRunsHandlerOnTarget(t *testing.T) {
+	f, env := simFabric(t, 8)
+	var handlerM MachineID = -1
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		err := c.RPC(5, 128, func(sc *Ctx) (int, error) {
+			handlerM = sc.M
+			sc.Work(3 * time.Microsecond)
+			return 64, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if handlerM != 5 {
+		t.Errorf("handler ran on %v, want m5", handlerM)
+	}
+}
+
+func TestFailedMachineUnreachable(t *testing.T) {
+	f, env := simFabric(t, 8)
+	f.Fail(3)
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		if err := c.ReadRemote(3, 64); err != ErrUnreachable {
+			t.Errorf("read from failed machine: err = %v, want ErrUnreachable", err)
+		}
+		if err := c.RPC(3, 64, func(sc *Ctx) (int, error) { return 0, nil }); err != ErrUnreachable {
+			t.Errorf("rpc to failed machine: err = %v, want ErrUnreachable", err)
+		}
+		f.Restore(3)
+		if err := c.ReadRemote(3, 64); err != nil {
+			t.Errorf("read after restore: %v", err)
+		}
+	})
+}
+
+func TestCPUQueueingUnderLoad(t *testing.T) {
+	// Saturating one machine's workers with RPCs must produce queueing
+	// delay — the mechanism behind the latency/throughput hockey stick.
+	env := sim.NewEnv(7)
+	cfg := DefaultConfig(8, Sim)
+	cfg.CPUWorkers = 2
+	f := New(cfg, env)
+	work := 100 * time.Microsecond
+	var last time.Duration
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		c.Parallel(8, func(i int, cc *Ctx) {
+			cc.RPC(1, 64, func(sc *Ctx) (int, error) {
+				sc.Work(work)
+				return 0, nil
+			})
+			if d := cc.Now(); d > last {
+				last = d
+			}
+		})
+	})
+	// 8 jobs of >=100us on 2 workers need >= 400us of virtual time.
+	if last < 4*work {
+		t.Errorf("8x%v on 2 workers finished at %v, want >= %v", work, last, 4*work)
+	}
+}
+
+func TestParallelDirectMode(t *testing.T) {
+	f := New(DefaultConfig(4, Direct), nil)
+	c := f.NewCtx(0, nil)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	c.Parallel(16, func(i int, cc *Ctx) {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+	})
+	if len(seen) != 16 {
+		t.Errorf("ran %d bodies, want 16", len(seen))
+	}
+}
+
+func TestDirectModeOpsAreImmediate(t *testing.T) {
+	f := New(DefaultConfig(4, Direct), nil)
+	c := f.NewCtx(0, nil)
+	if err := c.ReadRemote(2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRemote(1, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RPC(3, 64, func(sc *Ctx) (int, error) {
+		if sc.M != 3 {
+			t.Errorf("handler machine = %v", sc.M)
+		}
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Metrics.RemoteReads.Load(); got != 1 {
+		t.Errorf("remote reads = %d, want 1", got)
+	}
+}
+
+func TestGoBackgroundActivity(t *testing.T) {
+	f, env := simFabric(t, 4)
+	done := false
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		w := c.Go("bg", func(bc *Ctx) {
+			bc.Sleep(time.Millisecond)
+			done = true
+		})
+		w.Wait(c)
+	})
+	if !done {
+		t.Error("background activity did not complete")
+	}
+}
+
+func TestDatagram(t *testing.T) {
+	f, env := simFabric(t, 4)
+	env.Run(func(p *sim.Proc) {
+		c := f.NewCtx(0, p)
+		if !c.Datagram(1, 64) {
+			t.Error("datagram to live machine not delivered")
+		}
+		f.Fail(1)
+		if c.Datagram(1, 64) {
+			t.Error("datagram to failed machine delivered")
+		}
+	})
+}

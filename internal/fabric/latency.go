@@ -1,0 +1,70 @@
+package fabric
+
+import "time"
+
+// LatencyParams calibrates the simulated network against the numbers the
+// paper reports (§1, §2.1, §5.1): RoCEv2 round trips under 5us inside a
+// rack and under 20us across oversubscribed racks, 40Gb/s NICs, and an
+// average one-sided read around 17us under production load.
+type LatencyParams struct {
+	// LocalAccess is the cost of reading an object that lives in the local
+	// machine's memory (the paper's 20x-100x local/remote gap comes from
+	// the ratio of this to a remote read).
+	LocalAccess time.Duration
+	// IntraRackOneWay is one-way propagation between machines that share a
+	// ToR switch (full bisection bandwidth).
+	IntraRackOneWay time.Duration
+	// CrossRackExtra is the additional one-way propagation through the T1
+	// layer for machines in different racks.
+	CrossRackExtra time.Duration
+	// Bandwidth is the NIC line rate in bytes/second (40Gb/s).
+	Bandwidth float64
+	// UplinkBandwidth is the effective per-flow rate through an
+	// oversubscribed rack uplink in bytes/second.
+	UplinkBandwidth float64
+	// NICPerMessage is the fixed NIC service time per one-sided verb; its
+	// inverse bounds the per-machine message rate.
+	NICPerMessage time.Duration
+	// RPCHandleCPU is the CPU time to dispatch an inbound RPC to a fiber.
+	RPCHandleCPU time.Duration
+	// RPCReplyCPU is the CPU time to consume an RPC reply at the caller.
+	RPCReplyCPU time.Duration
+	// ClientOneWay is TCP latency between an external client and a
+	// frontend, and between a frontend and a backend (paper §2.2: clients
+	// use the traditional TCP stack, which has higher latency).
+	ClientOneWay time.Duration
+}
+
+// DefaultLatency returns parameters matching the paper's testbed: Mellanox
+// 40Gbps NICs, <5us in-rack reads, <20us cross-rack reads through
+// oversubscribed T1 links.
+func DefaultLatency() LatencyParams {
+	return LatencyParams{
+		LocalAccess:     150 * time.Nanosecond,
+		IntraRackOneWay: 1500 * time.Nanosecond,
+		CrossRackExtra:  5 * time.Microsecond,
+		Bandwidth:       5e9,    // 40Gb/s
+		UplinkBandwidth: 1.25e9, // 4:1 oversubscription
+		NICPerMessage:   600 * time.Nanosecond,
+		RPCHandleCPU:    2 * time.Microsecond,
+		RPCReplyCPU:     1 * time.Microsecond,
+		ClientOneWay:    150 * time.Microsecond,
+	}
+}
+
+// transferTime returns the serialization time of size bytes at NIC line
+// rate.
+func (lp *LatencyParams) transferTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / lp.Bandwidth * float64(time.Second))
+}
+
+// uplinkTime returns the service time a message occupies one way of the
+// rack uplink.
+func (lp *LatencyParams) uplinkTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / lp.UplinkBandwidth * float64(time.Second))
+}
+
+// nicTime returns the NIC service time for a one-sided verb of size bytes.
+func (lp *LatencyParams) nicTime(bytes int) time.Duration {
+	return lp.NICPerMessage + lp.transferTime(bytes)
+}

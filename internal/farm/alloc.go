@@ -1,0 +1,173 @@
+package farm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// allocator is FaRM's per-region slab allocator: allocations are rounded up
+// to a size class, freed slots go on per-class free lists, and fresh slots
+// are carved from a bump pointer. Object sizes range from 64 bytes to 1MB
+// (paper §2.1).
+type allocator struct {
+	capBytes  uint32
+	bump      uint32
+	freeLists map[uint32][]uint32 // size class -> free offsets (LIFO)
+	live      map[uint32]uint32   // offset -> size class
+	used      uint64
+}
+
+// sizeClasses are the allocation granularities, 64B..1MB in ~1.5x steps.
+var sizeClasses = buildSizeClasses()
+
+func buildSizeClasses() []uint32 {
+	var cs []uint32
+	for c := uint32(64); c <= 1<<20; {
+		cs = append(cs, c)
+		if c < 128 {
+			c += 32
+		} else {
+			half := c / 2
+			cs = append(cs, c+half)
+			c *= 2
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	// Deduplicate and drop anything above 1MB+half artifacts.
+	out := cs[:0]
+	var prev uint32
+	for _, c := range cs {
+		if c != prev && c <= 1<<20 {
+			out = append(out, c)
+			prev = c
+		}
+	}
+	return out
+}
+
+// classFor returns the smallest size class >= n.
+func classFor(n uint32) (uint32, error) {
+	i := sort.Search(len(sizeClasses), func(i int) bool { return sizeClasses[i] >= n })
+	if i == len(sizeClasses) {
+		return 0, fmt.Errorf("%w: %d bytes exceeds 1MB object limit", ErrTooLarge, n)
+	}
+	return sizeClasses[i], nil
+}
+
+func newAllocator(capBytes uint32) *allocator {
+	return &allocator{
+		capBytes:  capBytes,
+		bump:      64, // offset 0 is reserved: Addr(region,0) must stay distinguishable
+		freeLists: make(map[uint32][]uint32),
+		live:      make(map[uint32]uint32),
+	}
+}
+
+// alloc reserves n bytes (header included by caller) and returns the offset.
+func (a *allocator) alloc(n uint32) (uint32, error) {
+	class, err := classFor(n)
+	if err != nil {
+		return 0, err
+	}
+	if list := a.freeLists[class]; len(list) > 0 {
+		off := list[len(list)-1]
+		a.freeLists[class] = list[:len(list)-1]
+		a.live[off] = class
+		a.used += uint64(class)
+		return off, nil
+	}
+	if a.bump+class > a.capBytes || a.bump+class < a.bump {
+		return 0, fmt.Errorf("%w: region full (%d used of %d)", ErrRegionFull, a.bump, a.capBytes)
+	}
+	off := a.bump
+	a.bump += class
+	a.live[off] = class
+	a.used += uint64(class)
+	return off, nil
+}
+
+// allocAt reserves the exact slot the primary chose, used when replicating
+// allocation decisions to backup replicas.
+func (a *allocator) allocAt(off, n uint32) {
+	class, err := classFor(n)
+	if err != nil {
+		panic(err) // primary already validated the size
+	}
+	// Remove from free list if present (slot was freed earlier on this
+	// replica too).
+	if list := a.freeLists[class]; len(list) > 0 {
+		for i, f := range list {
+			if f == off {
+				a.freeLists[class] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	if off+class > a.bump {
+		a.bump = off + class
+	}
+	if _, dup := a.live[off]; !dup {
+		a.used += uint64(class)
+	}
+	a.live[off] = class
+}
+
+// free returns the slot at off to its class free list.
+func (a *allocator) free(off uint32) {
+	class, ok := a.live[off]
+	if !ok {
+		return
+	}
+	delete(a.live, off)
+	a.used -= uint64(class)
+	a.freeLists[class] = append(a.freeLists[class], off)
+}
+
+// isLive reports whether off is a live allocation.
+func (a *allocator) isLive(off uint32) bool {
+	_, ok := a.live[off]
+	return ok
+}
+
+// slotSize returns the class size of a live slot (0 if not live).
+func (a *allocator) slotSize(off uint32) uint32 { return a.live[off] }
+
+// liveOffsets returns a snapshot of all live allocation offsets.
+func (a *allocator) liveOffsets() []uint32 {
+	offs := make([]uint32, 0, len(a.live))
+	for off := range a.live {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	return offs
+}
+
+// hasSpace reports whether a payload of n bytes could be allocated.
+func (a *allocator) hasSpace(n uint32) bool {
+	class, err := classFor(n + hdrBytes)
+	if err != nil {
+		return false
+	}
+	if len(a.freeLists[class]) > 0 {
+		return true
+	}
+	return a.bump+class <= a.capBytes
+}
+
+// clone deep-copies the allocator.
+func (a *allocator) clone() *allocator {
+	na := &allocator{
+		capBytes:  a.capBytes,
+		bump:      a.bump,
+		freeLists: make(map[uint32][]uint32, len(a.freeLists)),
+		live:      make(map[uint32]uint32, len(a.live)),
+		used:      a.used,
+	}
+	for c, list := range a.freeLists {
+		na.freeLists[c] = append([]uint32(nil), list...)
+	}
+	for off, c := range a.live {
+		na.live[off] = c
+	}
+	return na
+}

@@ -1,0 +1,730 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"a1/internal/fabric"
+)
+
+// BTree is FaRM's distributed B-tree (paper §2.1/§2.2, §3.1): nodes are
+// FaRM objects linked by fat ⟨address,size⟩ pointers, with a high branching
+// factor and per-machine caching of internal nodes so that a lookup usually
+// costs one RDMA read for the leaf instead of O(log n).
+//
+// Structure invariants (B-link style): nodes split to the right and are
+// never merged, each node carries an upper fence key and a right-sibling
+// pointer, so key ranges only ever shrink. Those invariants make the
+// internal-node cache safe: a descent through stale (or newer) cached nodes
+// lands at-or-left-of the correct leaf, and a short move-right walk along
+// snapshot-consistent sibling pointers recovers; any failure falls back to
+// an uncached descent through transactional reads.
+type BTree struct {
+	farm *Farm
+	desc Ptr // descriptor object holding the root pointer
+}
+
+// btreeNodeCap is the payload budget of one node; with A1's 12-byte value
+// pointers and short keys this yields a branching factor of several dozen.
+const btreeNodeCap = 2048
+
+// maxMoveRight bounds the cached fast path's sibling walk before it falls
+// back to a full descent.
+const maxMoveRight = 8
+
+// ErrKeyTooLarge rejects keys/values that would not leave a sane branching
+// factor.
+var ErrKeyTooLarge = errors.New("farm: btree key or value too large")
+
+const btreeMaxEntry = btreeNodeCap / 4
+
+// bnode is a decoded B-tree node.
+type bnode struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	children []Ptr    // inner only; len(children) == len(keys)+1
+	next     Ptr      // right sibling
+	hi       []byte   // upper fence; nil = +infinity
+	hasHi    bool
+}
+
+// cachedNode is one entry of the per-machine internal-node cache.
+type cachedNode struct {
+	word uint64 // version word when read
+	node *bnode
+}
+
+func (m *Machine) cacheGet(a Addr) (cachedNode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cn, ok := m.nodeCache[a]
+	return cn, ok
+}
+
+func (m *Machine) cachePut(a Addr, cn cachedNode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodeCache[a] = cn
+}
+
+func (m *Machine) cacheDrop(a Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.nodeCache, a)
+}
+
+// encode serializes a node into an object payload.
+func (n *bnode) encode() []byte {
+	var b []byte
+	var flags byte
+	if n.leaf {
+		flags |= 1
+	}
+	if n.hasHi {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(n.keys)))
+	b = appendPtr(b, n.next)
+	if n.hasHi {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(n.hi)))
+		b = append(b, n.hi...)
+	}
+	if n.leaf {
+		for i, k := range n.keys {
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(k)))
+			b = append(b, k...)
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(n.vals[i])))
+			b = append(b, n.vals[i]...)
+		}
+	} else {
+		b = appendPtr(b, n.children[0])
+		for i, k := range n.keys {
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(k)))
+			b = append(b, k...)
+			b = appendPtr(b, n.children[i+1])
+		}
+	}
+	return b
+}
+
+func appendPtr(b []byte, p Ptr) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.Addr))
+	return binary.LittleEndian.AppendUint32(b, p.Size)
+}
+
+func readPtr(b []byte) (Ptr, []byte, error) {
+	if len(b) < PtrBytes {
+		return NilPtr, nil, errShortNode
+	}
+	p := Ptr{
+		Addr: Addr(binary.LittleEndian.Uint64(b)),
+		Size: binary.LittleEndian.Uint32(b[8:]),
+	}
+	return p, b[PtrBytes:], nil
+}
+
+var errShortNode = errors.New("farm: truncated btree node")
+
+func decodeNode(b []byte) (*bnode, error) {
+	if len(b) < 3 {
+		return nil, errShortNode
+	}
+	n := &bnode{leaf: b[0]&1 != 0, hasHi: b[0]&2 != 0}
+	count := int(binary.LittleEndian.Uint16(b[1:]))
+	b = b[3:]
+	var err error
+	if n.next, b, err = readPtr(b); err != nil {
+		return nil, err
+	}
+	if n.hasHi {
+		if len(b) < 2 {
+			return nil, errShortNode
+		}
+		hl := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < hl {
+			return nil, errShortNode
+		}
+		n.hi = append([]byte(nil), b[:hl]...)
+		b = b[hl:]
+	}
+	readBytes := func() ([]byte, error) {
+		if len(b) < 2 {
+			return nil, errShortNode
+		}
+		l := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < l {
+			return nil, errShortNode
+		}
+		out := append([]byte(nil), b[:l]...)
+		b = b[l:]
+		return out, nil
+	}
+	if n.leaf {
+		for i := 0; i < count; i++ {
+			k, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			v, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, k)
+			n.vals = append(n.vals, v)
+		}
+	} else {
+		var c Ptr
+		if c, b, err = readPtr(b); err != nil {
+			return nil, err
+		}
+		n.children = append(n.children, c)
+		for i := 0; i < count; i++ {
+			k, err := readBytes()
+			if err != nil {
+				return nil, err
+			}
+			if c, b, err = readPtr(b); err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, k)
+			n.children = append(n.children, c)
+		}
+	}
+	return n, nil
+}
+
+// encodedSize returns the byte length encode would produce.
+func (n *bnode) encodedSize() int {
+	size := 3 + PtrBytes
+	if n.hasHi {
+		size += 2 + len(n.hi)
+	}
+	if n.leaf {
+		for i, k := range n.keys {
+			size += 4 + len(k) + len(n.vals[i])
+		}
+	} else {
+		size += PtrBytes
+		for _, k := range n.keys {
+			size += 2 + len(k) + PtrBytes
+		}
+	}
+	return size
+}
+
+// childIndex returns which child of an inner node covers key.
+func (n *bnode) childIndex(key []byte) int {
+	i := 0
+	for i < len(n.keys) && bytes.Compare(key, n.keys[i]) >= 0 {
+		i++
+	}
+	return i
+}
+
+// leafIndex returns (index, found) of key in a leaf.
+func (n *bnode) leafIndex(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.keys[mid], key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// coversKey reports whether key falls below the node's upper fence.
+func (n *bnode) coversKey(key []byte) bool {
+	return !n.hasHi || bytes.Compare(key, n.hi) < 0
+}
+
+// CreateBTree allocates an empty tree (descriptor + root leaf) inside tx,
+// placed near hint. The returned handle is only valid after tx commits.
+func CreateBTree(tx *Tx, hint Addr) (*BTree, error) {
+	root := &bnode{leaf: true}
+	enc := root.encode()
+	rootBuf, err := tx.Alloc(btreeNodeCap+64, hint)
+	if err != nil {
+		return nil, err
+	}
+	if err := rootBuf.Resize(uint32(len(enc))); err != nil {
+		return nil, err
+	}
+	copy(rootBuf.Data(), enc)
+	descBuf, err := tx.Alloc(PtrBytes, rootBuf.Addr())
+	if err != nil {
+		return nil, err
+	}
+	copy(descBuf.Data(), appendPtr(nil, rootBuf.Ptr()))
+	return &BTree{farm: tx.farm, desc: descBuf.Ptr()}, nil
+}
+
+// OpenBTree returns a handle on an existing tree from its descriptor
+// pointer (as recorded in the A1 catalog).
+func OpenBTree(f *Farm, desc Ptr) *BTree {
+	return &BTree{farm: f, desc: desc}
+}
+
+// Desc returns the descriptor pointer that identifies this tree.
+func (bt *BTree) Desc() Ptr { return bt.desc }
+
+// rootPtr reads the descriptor within tx.
+func (bt *BTree) rootPtr(tx *Tx) (Ptr, error) {
+	buf, err := tx.Read(bt.desc)
+	if err != nil {
+		return NilPtr, err
+	}
+	p, _, err := readPtr(buf.Data())
+	return p, err
+}
+
+// readNode fetches and decodes a node within tx, filling the machine-local
+// cache for inner nodes.
+func (bt *BTree) readNode(tx *Tx, p Ptr) (*bnode, error) {
+	buf, err := tx.Read(p)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(buf.Data())
+	if err != nil {
+		return nil, err
+	}
+	if !n.leaf {
+		bt.machine(tx).cachePut(p.Addr, cachedNode{word: buf.baseVer, node: n})
+	}
+	return n, nil
+}
+
+func (bt *BTree) machine(tx *Tx) *Machine { return bt.farm.machines[tx.c.M] }
+
+// Get returns the value stored under key, using the cached fast path and
+// falling back to an uncached descent on any inconsistency.
+func (bt *BTree) Get(tx *Tx, key []byte) ([]byte, bool, error) {
+	if v, ok, err := bt.getCached(tx, key); err == nil {
+		return v, ok, nil
+	} else if errors.Is(err, ErrConflict) || errors.Is(err, ErrAborted) {
+		return nil, false, err
+	}
+	return bt.getSlow(tx, key)
+}
+
+// getCached descends through cached inner nodes, reading only the leaf
+// through the transaction — the paper's "one RDMA read" lookup.
+func (bt *BTree) getCached(tx *Tx, key []byte) ([]byte, bool, error) {
+	m := bt.machine(tx)
+	cn, ok := m.cacheGet(bt.desc.Addr)
+	var root Ptr
+	if ok {
+		var err error
+		if root, _, err = readPtr(cn.node.encodeDescriptor()); err != nil {
+			return nil, false, err
+		}
+	} else {
+		var err error
+		root, err = bt.rootPtr(tx)
+		if err != nil {
+			return nil, false, err
+		}
+		m.cachePut(bt.desc.Addr, cachedNode{node: descriptorNode(root)})
+	}
+	p := root
+	for depth := 0; depth < 64; depth++ {
+		cn, ok := m.cacheGet(p.Addr)
+		if !ok || cn.node.leaf {
+			// Leaf (or uncached inner): read through the transaction.
+			n, err := bt.readNode(tx, p)
+			if err != nil {
+				return nil, false, err
+			}
+			if n.leaf {
+				return bt.leafLookup(tx, n, key)
+			}
+			p = n.children[n.childIndex(key)]
+			continue
+		}
+		p = cn.node.children[cn.node.childIndex(key)]
+	}
+	return nil, false, errors.New("farm: btree descent too deep")
+}
+
+// leafLookup finds key in the leaf, walking right along snapshot-consistent
+// sibling pointers when a stale cached path landed left of the target.
+func (bt *BTree) leafLookup(tx *Tx, n *bnode, key []byte) ([]byte, bool, error) {
+	for moves := 0; ; moves++ {
+		if n.coversKey(key) {
+			i, found := n.leafIndex(key)
+			if !found {
+				return nil, false, nil
+			}
+			return n.vals[i], true, nil
+		}
+		if moves >= maxMoveRight || n.next.IsNil() {
+			return nil, false, fmt.Errorf("btree: fence walk exhausted")
+		}
+		nn, err := bt.readNode(tx, n.next)
+		if err != nil {
+			return nil, false, err
+		}
+		n = nn
+	}
+}
+
+// getSlow is the uncached, fully transactional descent.
+func (bt *BTree) getSlow(tx *Tx, key []byte) ([]byte, bool, error) {
+	bt.machine(tx).cacheDrop(bt.desc.Addr)
+	p, err := bt.rootPtr(tx)
+	if err != nil {
+		return nil, false, err
+	}
+	for depth := 0; depth < 64; depth++ {
+		n, err := bt.readNode(tx, p)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i, found := n.leafIndex(key)
+			if !found {
+				return nil, false, nil
+			}
+			return n.vals[i], true, nil
+		}
+		p = n.children[n.childIndex(key)]
+	}
+	return nil, false, errors.New("farm: btree descent too deep")
+}
+
+// descriptorNode wraps a root pointer so the descriptor can live in the
+// same cache as inner nodes.
+func descriptorNode(root Ptr) *bnode {
+	return &bnode{leaf: false, children: []Ptr{root}}
+}
+
+func (n *bnode) encodeDescriptor() []byte { return appendPtr(nil, n.children[0]) }
+
+// pathEntry records one tx-read node during a mutation descent.
+type pathEntry struct {
+	ptr Ptr
+	n   *bnode
+}
+
+// descendForWrite walks root→leaf entirely through transactional reads (the
+// snapshot is internally consistent, so no fence walks are needed) and
+// returns the path.
+func (bt *BTree) descendForWrite(tx *Tx, key []byte) ([]pathEntry, error) {
+	p, err := bt.rootPtr(tx)
+	if err != nil {
+		return nil, err
+	}
+	var path []pathEntry
+	for depth := 0; depth < 64; depth++ {
+		n, err := bt.readNode(tx, p)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, pathEntry{ptr: p, n: n})
+		if n.leaf {
+			return path, nil
+		}
+		p = n.children[n.childIndex(key)]
+	}
+	return nil, errors.New("farm: btree descent too deep")
+}
+
+// writeNode re-encodes a node into its existing object.
+func (bt *BTree) writeNode(tx *Tx, p Ptr, n *bnode) error {
+	buf, err := tx.Read(p)
+	if err != nil {
+		return err
+	}
+	w, err := tx.OpenForWrite(buf)
+	if err != nil {
+		return err
+	}
+	enc := n.encode()
+	if err := w.Resize(uint32(len(enc))); err != nil {
+		return err
+	}
+	copy(w.Data(), enc)
+	bt.machine(tx).cacheDrop(p.Addr)
+	return nil
+}
+
+// allocNode allocates a new node object near sibling.
+func (bt *BTree) allocNode(tx *Tx, n *bnode, near Addr) (Ptr, error) {
+	enc := n.encode()
+	buf, err := tx.Alloc(btreeNodeCap+64, near)
+	if err != nil {
+		return NilPtr, err
+	}
+	if err := buf.Resize(uint32(len(enc))); err != nil {
+		return NilPtr, err
+	}
+	copy(buf.Data(), enc)
+	return buf.Ptr(), nil
+}
+
+// Put inserts or replaces key's value.
+func (bt *BTree) Put(tx *Tx, key, val []byte) error {
+	if len(key) == 0 || len(key)+len(val) > btreeMaxEntry {
+		return fmt.Errorf("%w: %d bytes", ErrKeyTooLarge, len(key)+len(val))
+	}
+	path, err := bt.descendForWrite(tx, key)
+	if err != nil {
+		return err
+	}
+	leafEntry := path[len(path)-1]
+	leaf := leafEntry.n
+	i, found := leaf.leafIndex(key)
+	if found {
+		leaf.vals[i] = append([]byte(nil), val...)
+	} else {
+		leaf.keys = append(leaf.keys, nil)
+		copy(leaf.keys[i+1:], leaf.keys[i:])
+		leaf.keys[i] = append([]byte(nil), key...)
+		leaf.vals = append(leaf.vals, nil)
+		copy(leaf.vals[i+1:], leaf.vals[i:])
+		leaf.vals[i] = append([]byte(nil), val...)
+	}
+	if leaf.encodedSize() <= btreeNodeCap {
+		return bt.writeNode(tx, leafEntry.ptr, leaf)
+	}
+	return bt.splitAndPropagate(tx, path)
+}
+
+// splitAndPropagate splits the (oversized) tail node of path, inserting
+// separators upward, splitting parents as needed and growing a new root at
+// the top.
+func (bt *BTree) splitAndPropagate(tx *Tx, path []pathEntry) error {
+	level := len(path) - 1
+	cur := path[level]
+	sepKey, rightPtr, err := bt.splitNode(tx, cur)
+	if err != nil {
+		return err
+	}
+	for {
+		level--
+		if level < 0 {
+			// Root split: new root referencing the two halves.
+			oldRoot := path[0].ptr
+			newRoot := &bnode{
+				keys:     [][]byte{sepKey},
+				children: []Ptr{oldRoot, rightPtr},
+			}
+			rp, err := bt.allocNode(tx, newRoot, oldRoot.Addr)
+			if err != nil {
+				return err
+			}
+			descBuf, err := tx.Read(bt.desc)
+			if err != nil {
+				return err
+			}
+			w, err := tx.OpenForWrite(descBuf)
+			if err != nil {
+				return err
+			}
+			copy(w.Data(), appendPtr(nil, rp))
+			bt.machine(tx).cacheDrop(bt.desc.Addr)
+			return nil
+		}
+		parent := path[level]
+		pi := parent.n.childIndex(sepKey)
+		parent.n.keys = append(parent.n.keys, nil)
+		copy(parent.n.keys[pi+1:], parent.n.keys[pi:])
+		parent.n.keys[pi] = sepKey
+		parent.n.children = append(parent.n.children, NilPtr)
+		copy(parent.n.children[pi+2:], parent.n.children[pi+1:])
+		parent.n.children[pi+1] = rightPtr
+		if parent.n.encodedSize() <= btreeNodeCap {
+			return bt.writeNode(tx, parent.ptr, parent.n)
+		}
+		if sepKey, rightPtr, err = bt.splitNode(tx, parent); err != nil {
+			return err
+		}
+	}
+}
+
+// splitNode moves the upper half of an oversized node into a fresh right
+// sibling and rewrites the original. Returns the separator key and the new
+// node's pointer.
+func (bt *BTree) splitNode(tx *Tx, e pathEntry) ([]byte, Ptr, error) {
+	n := e.n
+	mid := len(n.keys) / 2
+	if mid == 0 {
+		mid = 1
+	}
+	right := &bnode{leaf: n.leaf, next: n.next, hi: n.hi, hasHi: n.hasHi}
+	var sep []byte
+	if n.leaf {
+		sep = append([]byte(nil), n.keys[mid]...)
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+	} else {
+		// The separator moves up; it becomes the right node's implicit low
+		// bound.
+		sep = append([]byte(nil), n.keys[mid]...)
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	rp, err := bt.allocNode(tx, right, e.ptr.Addr)
+	if err != nil {
+		return nil, NilPtr, err
+	}
+	n.next = rp
+	n.hi = sep
+	n.hasHi = true
+	if err := bt.writeNode(tx, e.ptr, n); err != nil {
+		return nil, NilPtr, err
+	}
+	return sep, rp, nil
+}
+
+// Delete removes key, reporting whether it was present. Nodes are never
+// merged (emptied leaves remain as range placeholders), matching the
+// split-only invariant the node cache relies on.
+func (bt *BTree) Delete(tx *Tx, key []byte) (bool, error) {
+	path, err := bt.descendForWrite(tx, key)
+	if err != nil {
+		return false, err
+	}
+	leafEntry := path[len(path)-1]
+	leaf := leafEntry.n
+	i, found := leaf.leafIndex(key)
+	if !found {
+		return false, nil
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	return true, bt.writeNode(tx, leafEntry.ptr, leaf)
+}
+
+// Scan visits entries with from <= key < to in order (nil to = +infinity),
+// following leaf sibling pointers. fn returns false to stop early.
+func (bt *BTree) Scan(tx *Tx, from, to []byte, fn func(key, val []byte) bool) error {
+	p, err := bt.rootPtr(tx)
+	if err != nil {
+		return err
+	}
+	var n *bnode
+	for depth := 0; ; depth++ {
+		if depth >= 64 {
+			return errors.New("farm: btree descent too deep")
+		}
+		n, err = bt.readNode(tx, p)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			break
+		}
+		p = n.children[n.childIndex(from)]
+	}
+	for {
+		start, _ := n.leafIndex(from)
+		for i := start; i < len(n.keys); i++ {
+			if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+				return nil
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return nil
+			}
+		}
+		if n.next.IsNil() {
+			return nil
+		}
+		if n.hasHi && to != nil && bytes.Compare(n.hi, to) >= 0 {
+			return nil
+		}
+		if n, err = bt.readNode(tx, n.next); err != nil {
+			return err
+		}
+	}
+}
+
+// Count returns the number of entries in [from, to).
+func (bt *BTree) Count(tx *Tx, from, to []byte) (int, error) {
+	count := 0
+	err := bt.Scan(tx, from, to, func(_, _ []byte) bool {
+		count++
+		return true
+	})
+	return count, err
+}
+
+// Drop frees every node of the tree and its descriptor, batching frees
+// across transactions so arbitrarily large trees can be dismantled without
+// one giant transaction. It is used by the DeleteType/DeleteGraph
+// asynchronous workflows (paper §3.3).
+func (bt *BTree) Drop(c *fabric.Ctx, batch int) error {
+	if batch <= 0 {
+		batch = 64
+	}
+	// Collect node pointers level by level in one read-only pass.
+	var all []Ptr
+	rtx := bt.farm.CreateReadTransaction(c)
+	rootP, err := bt.rootPtr(rtx)
+	if err != nil {
+		return err
+	}
+	level := rootP
+	for !level.IsNil() {
+		var nextLevel Ptr
+		p := level
+		for !p.IsNil() {
+			n, err := bt.readNode(rtx, p)
+			if err != nil {
+				return err
+			}
+			all = append(all, p)
+			if nextLevel.IsNil() && !n.leaf {
+				nextLevel = n.children[0]
+			}
+			p = n.next
+		}
+		level = nextLevel
+	}
+	all = append(all, bt.desc)
+	for start := 0; start < len(all); start += batch {
+		end := start + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[start:end]
+		err := RunTransaction(c, bt.farm, func(tx *Tx) error {
+			for _, p := range chunk {
+				buf, err := tx.Read(p)
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				if err := tx.Free(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, p := range all {
+		bt.machine(&Tx{c: c, farm: bt.farm}).cacheDrop(p.Addr)
+	}
+	return nil
+}

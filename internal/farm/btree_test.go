@@ -1,0 +1,378 @@
+package farm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"a1/internal/fabric"
+)
+
+func newTestBTree(t *testing.T, f *Farm, c *fabric.Ctx) *BTree {
+	t.Helper()
+	var bt *BTree
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		var err error
+		bt, err = CreateBTree(tx, NilAddr)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("CreateBTree: %v", err)
+	}
+	return bt
+}
+
+func btPut(t *testing.T, f *Farm, c *fabric.Ctx, bt *BTree, k, v string) {
+	t.Helper()
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		return bt.Put(tx, []byte(k), []byte(v))
+	})
+	if err != nil {
+		t.Fatalf("Put(%q): %v", k, err)
+	}
+}
+
+func btGet(t *testing.T, f *Farm, c *fabric.Ctx, bt *BTree, k string) (string, bool) {
+	t.Helper()
+	rtx := f.CreateReadTransaction(c)
+	v, ok, err := bt.Get(rtx, []byte(k))
+	if err != nil {
+		t.Fatalf("Get(%q): %v", k, err)
+	}
+	return string(v), ok
+}
+
+func TestBTreeBasicOps(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	if _, ok := btGet(t, f, c, bt, "missing"); ok {
+		t.Error("empty tree returned a value")
+	}
+	btPut(t, f, c, bt, "b", "2")
+	btPut(t, f, c, bt, "a", "1")
+	btPut(t, f, c, bt, "c", "3")
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		if got, ok := btGet(t, f, c, bt, k); !ok || got != want {
+			t.Errorf("Get(%q) = %q, %v; want %q", k, got, ok, want)
+		}
+	}
+	// Replace.
+	btPut(t, f, c, bt, "b", "two")
+	if got, _ := btGet(t, f, c, bt, "b"); got != "two" {
+		t.Errorf("after replace Get(b) = %q", got)
+	}
+	// Delete.
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		found, err := bt.Delete(tx, []byte("b"))
+		if err == nil && !found {
+			return errors.New("delete reported not-found")
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := btGet(t, f, c, bt, "b"); ok {
+		t.Error("deleted key still present")
+	}
+	if got, ok := btGet(t, f, c, bt, "a"); !ok || got != "1" {
+		t.Errorf("sibling key lost after delete: %q %v", got, ok)
+	}
+}
+
+func TestBTreeSplitsAndOrder(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	const n = 500
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	// Batch inserts to keep the test quick while still forcing many splits.
+	for start := 0; start < n; start += 25 {
+		chunk := perm[start : start+25]
+		err := RunTransaction(c, f, func(tx *Tx) error {
+			for _, i := range chunk {
+				k := fmt.Sprintf("key-%06d", i)
+				if err := bt.Put(tx, []byte(k), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch insert: %v", err)
+		}
+	}
+	for _, i := range []int{0, 1, n / 2, n - 2, n - 1} {
+		k := fmt.Sprintf("key-%06d", i)
+		if got, ok := btGet(t, f, c, bt, k); !ok || got != fmt.Sprintf("val-%d", i) {
+			t.Errorf("Get(%q) = %q, %v", k, got, ok)
+		}
+	}
+	// Scan returns everything in order.
+	rtx := f.CreateReadTransaction(c)
+	var keys []string
+	err := bt.Scan(rtx, nil, nil, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("scan found %d keys, want %d", len(keys), n)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("scan output not sorted")
+	}
+}
+
+func TestBTreeScanRange(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		for i := 0; i < 100; i++ {
+			if err := bt.Put(tx, []byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtx := f.CreateReadTransaction(c)
+	var got []string
+	err = bt.Scan(rtx, []byte("k010"), []byte("k020"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "k010" || got[9] != "k019" {
+		t.Errorf("range scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	bt.Scan(rtx, nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop count = %d, want 5", count)
+	}
+	// Count helper.
+	n, err := bt.Count(rtx, []byte("k090"), nil)
+	if err != nil || n != 10 {
+		t.Errorf("Count = %d, %v; want 10", n, err)
+	}
+}
+
+func TestBTreeCachedLookupAfterRemoteSplits(t *testing.T) {
+	// Warm machine 0's node cache, force splits driven from machine 1, and
+	// verify machine 0's stale cache still routes lookups correctly.
+	f, c0 := directFarm(t, 5)
+	bt := newTestBTree(t, f, c0)
+	btPut(t, f, c0, bt, "seed-a", "1")
+	if got, ok := btGet(t, f, c0, bt, "seed-a"); !ok || got != "1" {
+		t.Fatalf("warmup get = %q, %v", got, ok)
+	}
+	c1 := f.Fabric().NewCtx(1, nil)
+	for start := 0; start < 400; start += 20 {
+		err := RunTransaction(c1, f, func(tx *Tx) error {
+			for i := start; i < start+20; i++ {
+				k := fmt.Sprintf("grow-%06d", i)
+				if err := bt.Put(tx, []byte(k), []byte("x")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Machine 0 cache is now stale; lookups must still succeed everywhere.
+	for _, k := range []string{"seed-a", "grow-000000", "grow-000399", "grow-000200"} {
+		if _, ok := btGet(t, f, c0, bt, k); !ok {
+			t.Errorf("stale-cache lookup lost key %q", k)
+		}
+	}
+}
+
+func TestBTreeQuickVsOracle(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	oracle := map[string]string{}
+	cfg := &quick.Config{MaxCount: 60}
+	step := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		err := RunTransaction(c, f, func(tx *Tx) error {
+			for op := 0; op < 8; op++ {
+				k := fmt.Sprintf("q%03d", r.Intn(200))
+				switch r.Intn(3) {
+				case 0, 1:
+					v := fmt.Sprintf("v%d", r.Int63())
+					if err := bt.Put(tx, []byte(k), []byte(v)); err != nil {
+						return err
+					}
+					oracle[k] = v
+				case 2:
+					if _, err := bt.Delete(tx, []byte(k)); err != nil {
+						return err
+					}
+					delete(oracle, k)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ops: %v", err)
+		}
+		// Verify a few random keys and a full scan every so often.
+		rtx := f.CreateReadTransaction(c)
+		for i := 0; i < 5; i++ {
+			k := fmt.Sprintf("q%03d", r.Intn(200))
+			v, ok, err := bt.Get(rtx, []byte(k))
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			want, wantOK := oracle[k]
+			if ok != wantOK || (ok && string(v) != want) {
+				t.Fatalf("Get(%q) = %q,%v; oracle %q,%v", k, v, ok, want, wantOK)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(step, cfg); err != nil {
+		t.Error(err)
+	}
+	// Final full comparison.
+	rtx := f.CreateReadTransaction(c)
+	found := map[string]string{}
+	err := bt.Scan(rtx, nil, nil, func(k, v []byte) bool {
+		found[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != len(oracle) {
+		t.Errorf("scan found %d entries, oracle has %d", len(found), len(oracle))
+	}
+	for k, v := range oracle {
+		if found[k] != v {
+			t.Errorf("key %q: tree %q, oracle %q", k, found[k], v)
+		}
+	}
+}
+
+func TestBTreeConcurrentInserters(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	const workers, per = 4, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := f.Fabric().NewCtx(fabric.MachineID(w+1), nil)
+			for i := 0; i < per; i++ {
+				k := fmt.Sprintf("w%d-%04d", w, i)
+				err := RunTransaction(wc, f, func(tx *Tx) error {
+					return bt.Put(tx, []byte(k), []byte("v"))
+				})
+				if err != nil {
+					t.Errorf("concurrent put %q: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rtx := f.CreateReadTransaction(c)
+	n, err := bt.Count(rtx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Errorf("count = %d, want %d", n, workers*per)
+	}
+}
+
+func TestBTreeSnapshotScanDuringInserts(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		for i := 0; i < 50; i++ {
+			if err := bt.Put(tx, []byte(fmt.Sprintf("s%03d", i)), []byte("old")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := f.CreateReadTransaction(c)
+	unpin := f.PinSnapshot(snap.ReadTs())
+	defer unpin()
+	// Concurrent growth after the snapshot.
+	err = RunTransaction(c, f, func(tx *Tx) error {
+		for i := 50; i < 150; i++ {
+			if err := bt.Put(tx, []byte(fmt.Sprintf("s%03d", i)), []byte("new")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bt.Count(snap, nil, nil)
+	if err != nil {
+		t.Fatalf("snapshot scan: %v", err)
+	}
+	if n != 50 {
+		t.Errorf("snapshot scan saw %d keys, want 50 (inserts after snapshot invisible)", n)
+	}
+}
+
+func TestBTreeDropFreesNodes(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		for i := 0; i < 300; i++ {
+			if err := bt.Put(tx, []byte(fmt.Sprintf("d%05d", i)), bytes.Repeat([]byte("x"), 32)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Drop(c, 32); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	f.GCVersions(c)
+	rtx := f.CreateReadTransaction(c)
+	if _, err := rtx.Read(bt.Desc()); err == nil {
+		t.Error("descriptor still readable after drop+GC")
+	}
+}
+
+func TestBTreeLargeEntryRejected(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		return bt.Put(tx, bytes.Repeat([]byte("k"), btreeMaxEntry), []byte("v"))
+	})
+	if !errors.Is(err, ErrKeyTooLarge) {
+		t.Errorf("err = %v, want ErrKeyTooLarge", err)
+	}
+}

@@ -1,0 +1,74 @@
+package farm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"a1/internal/fabric"
+)
+
+// Clock is the FaRMv2 global clock (paper §5.2): it issues the read and
+// write timestamps that give all transactions a global serialization order
+// and let multi-versioning run read-only transactions conflict-free.
+//
+// The real system synchronizes per-machine clocks over RDMA unreliable
+// datagrams and exposes bounded uncertainty; commit waits out the
+// uncertainty before releasing locks so that timestamp order matches real
+// time (strict serializability). We model the synchronized clock as a
+// hybrid of fabric time and a shared logical counter — equivalent to
+// perfectly synchronized physical clocks — and keep the explicit
+// uncertainty wait, configurable through Config.ClockUncertainty.
+type Clock struct {
+	fab  *fabric.Fabric
+	last atomic.Uint64
+	// Uncertainty is the clock error bound waited out at commit.
+	Uncertainty time.Duration
+}
+
+// NewClock creates a clock over the fabric's notion of time.
+func NewClock(fab *fabric.Fabric, uncertainty time.Duration) *Clock {
+	return &Clock{fab: fab, Uncertainty: uncertainty}
+}
+
+// physical returns the synchronized physical component.
+func (c *Clock) physical() uint64 { return uint64(c.fab.Now()) }
+
+// Current returns a timestamp suitable as a read snapshot: every write
+// timestamp issued afterwards is strictly greater.
+func (c *Clock) Current() uint64 {
+	phys := c.physical()
+	for {
+		last := c.last.Load()
+		if last >= phys {
+			return last
+		}
+		if c.last.CompareAndSwap(last, phys) {
+			return phys
+		}
+	}
+}
+
+// Next issues a write timestamp strictly greater than every timestamp
+// previously returned by Current or Next.
+func (c *Clock) Next() uint64 {
+	phys := c.physical()
+	for {
+		last := c.last.Load()
+		ts := last + 1
+		if phys > ts {
+			ts = phys
+		}
+		if c.last.CompareAndSwap(last, ts) {
+			return ts
+		}
+	}
+}
+
+// CommitWait blocks the committing transaction until the clock uncertainty
+// interval around its write timestamp has passed, ensuring timestamp order
+// is consistent with real-time order across machines.
+func (c *Clock) CommitWait(ctx *fabric.Ctx) {
+	if c.Uncertainty > 0 {
+		ctx.Sleep(c.Uncertainty)
+	}
+}

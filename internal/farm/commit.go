@@ -1,0 +1,302 @@
+package farm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"a1/internal/fabric"
+)
+
+// Commit runs the RDMA-optimized optimistic commit protocol (paper §2.1,
+// FaRMv2 §5.2):
+//
+//  1. LOCK      — CAS the version word of every written object at its
+//     primary; any interleaved change since the read aborts.
+//  2. VALIDATE  — re-read the version word of every read-but-not-written
+//     object; any change or held lock aborts.
+//  3. TIMESTAMP — take a write timestamp from the global clock, strictly
+//     above every issued read timestamp, and wait out the clock
+//     uncertainty (strict serializability).
+//  4. APPLY     — install new versions at primaries, pushing the prior
+//     version onto the object's chain for snapshot readers, and
+//     replicate the same mutations to every backup with
+//     one-sided writes. Unlock is the version-word store itself.
+//
+// Read-only transactions commit trivially: they validated nothing and hold
+// no locks.
+func (tx *Tx) Commit() error {
+	if err := tx.checkActive(); err != nil {
+		return err
+	}
+	if tx.readOnly || len(tx.writes) == 0 {
+		tx.status = txCommitted
+		for _, hook := range tx.doneHooks {
+			hook()
+		}
+		return nil
+	}
+	f := tx.farm
+	addrs := tx.sortedWriteAddrs()
+
+	// Phase 1: lock existing objects at their primaries.
+	var locked []Addr
+	abort := func(reason error) error {
+		tx.unlock(locked)
+		tx.status = txAborted
+		for _, a := range addrs {
+			if w := tx.writes[a]; w.isNew {
+				tx.releaseSlot(a)
+			}
+		}
+		return reason
+	}
+	for _, a := range addrs {
+		w := tx.writes[a]
+		if w.isNew {
+			continue
+		}
+		primary, err := f.cm.lookup(tx.c, a.Region())
+		if err != nil {
+			return abort(err)
+		}
+		if err := tx.c.CASRemote(primary); err != nil {
+			f.cm.handleFailure(tx.c, primary)
+			return abort(fmt.Errorf("%w: primary failed during lock", ErrConflict))
+		}
+		r, ok := f.regionAt(primary, a.Region())
+		if !ok {
+			return abort(fmt.Errorf("%w: region moved during lock", ErrConflict))
+		}
+		lockedWord := w.baseVer | lockBit
+		if !r.casVersion(a.Offset(), w.baseVer, lockedWord) {
+			return abort(fmt.Errorf("%w: lock lost on %v", ErrConflict, a))
+		}
+		locked = append(locked, a)
+	}
+
+	// Phase 2: validate the read set.
+	for a, seen := range tx.reads {
+		if _, written := tx.writes[a]; written {
+			continue // covered by the CAS above
+		}
+		primary, err := f.cm.lookup(tx.c, a.Region())
+		if err != nil {
+			return abort(err)
+		}
+		if err := tx.c.ReadRemote(primary, 8); err != nil {
+			f.cm.handleFailure(tx.c, primary)
+			return abort(fmt.Errorf("%w: primary failed during validate", ErrConflict))
+		}
+		r, ok := f.regionAt(primary, a.Region())
+		if !ok {
+			return abort(fmt.Errorf("%w: region moved during validate", ErrConflict))
+		}
+		cur, err := r.readVersionWord(a.Offset())
+		if err != nil || cur != seen {
+			return abort(fmt.Errorf("%w: read version changed on %v", ErrConflict, a))
+		}
+	}
+
+	// Phase 3: write timestamp + uncertainty wait.
+	commitTs := f.clock.Next()
+	tx.commitTs = commitTs
+	for _, hook := range tx.tsHooks {
+		hook(commitTs)
+	}
+	f.clock.CommitWait(tx.c)
+
+	// Phase 4: group mutations by region, charge replication wire time up
+	// front (locks stay held, so concurrent readers wait — exactly the
+	// observable behaviour of in-flight FaRM commits), then install all
+	// mutations.
+	groups := make(map[RegionID][]*ObjBuf)
+	var regionOrder []RegionID
+	for _, a := range addrs {
+		id := a.Region()
+		if _, seen := groups[id]; !seen {
+			regionOrder = append(regionOrder, id)
+		}
+		groups[id] = append(groups[id], tx.writes[a])
+	}
+	type pendingApply struct {
+		id     RegionID
+		region *Region
+		bufs   []*ObjBuf
+	}
+	var pending []pendingApply
+	for _, id := range regionOrder {
+		replicas := f.cm.replicasOf(id)
+		if len(replicas) == 0 {
+			return abort(fmt.Errorf("%w: region %d has no replicas", ErrRegionLost, id))
+		}
+		primary := replicas[0]
+		r, ok := f.regionAt(primary, id)
+		if !ok {
+			return abort(fmt.Errorf("%w: primary replica of region %d missing", ErrRegionLost, id))
+		}
+		bufs := groups[id]
+		bytes := 0
+		for _, w := range bufs {
+			bytes += len(w.data) + 2*hdrBytes // new version + old-version record
+		}
+		if err := tx.c.WriteRemote(primary, bytes); err != nil {
+			f.cm.handleFailure(tx.c, primary)
+			return abort(fmt.Errorf("%w: primary failed during apply", ErrConflict))
+		}
+		for _, b := range replicas[1:] {
+			if err := tx.c.WriteRemote(b, bytes); err != nil {
+				// A backup dropped off mid-commit: continue with the
+				// survivors and let the CM re-replicate in the background.
+				f.cm.handleFailure(tx.c, b)
+			}
+		}
+		pending = append(pending, pendingApply{id: id, region: r, bufs: bufs})
+	}
+	// Install mutations. No fabric waits happen below, so in Sim mode the
+	// installation is atomic; in Direct mode each region's mutations are
+	// atomic under its lock and cross-region partial visibility is bounded
+	// by the lock words still being held. Mutations are mirrored to the
+	// replica set as it exists now, so a backup that joined during the wire
+	// waits above (CM re-replication) still receives this commit; the op
+	// images are idempotent raw writes, making double-apply harmless.
+	for _, pa := range pending {
+		ops := applyToPrimary(pa.region, pa.bufs, commitTs)
+		for _, b := range f.cm.replicasOf(pa.id) {
+			if br, ok := f.regionAt(b, pa.id); ok && br != pa.region {
+				applyToBackup(br, ops)
+			}
+		}
+	}
+	tx.status = txCommitted
+	for _, hook := range tx.doneHooks {
+		hook()
+	}
+	return nil
+}
+
+// unlock restores the pre-lock version words after an abort.
+func (tx *Tx) unlock(locked []Addr) {
+	f := tx.farm
+	for _, a := range locked {
+		w := tx.writes[a]
+		primary, err := f.cm.lookup(tx.c, a.Region())
+		if err != nil {
+			continue
+		}
+		if r, ok := f.regionAt(primary, a.Region()); ok {
+			r.casVersion(a.Offset(), w.baseVer|lockBit, w.baseVer)
+		}
+	}
+}
+
+// regionOp is one replicated mutation: an optional slot reservation plus a
+// raw byte image, mirroring the one-sided writes FaRM pushes to backups.
+type regionOp struct {
+	allocOff  uint32
+	allocSize uint32 // total slot bytes (0 = no allocation)
+	off       uint32
+	bytes     []byte
+	freeOff   uint32
+	isFree    bool
+}
+
+// applyToPrimary installs the write set into the primary region and returns
+// the byte-level ops to mirror onto backups.
+func applyToPrimary(r *Region, bufs []*ObjBuf, commitTs uint64) []regionOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ops []regionOp
+	for _, w := range bufs {
+		off := w.addr.Offset()
+		if w.isNew {
+			if w.freed {
+				continue
+			}
+			r.ensure(off + hdrBytes + uint32(len(w.data)))
+			r.setVersionWord(off, packVersion(commitTs, false, false))
+			r.setOlder(off, NilPtr)
+			r.setPayloadLen(off, uint32(len(w.data)))
+			copy(r.data[off+hdrBytes:], w.data)
+			img := make([]byte, hdrBytes+len(w.data))
+			copy(img, r.data[off:off+hdrBytes+uint32(len(w.data))])
+			ops = append(ops, regionOp{
+				allocOff: off, allocSize: r.alloc.slotSize(off),
+				off: off, bytes: img,
+			})
+			continue
+		}
+		// Preserve the prior committed version for snapshot readers.
+		prevWord := r.versionWord(off) &^ lockBit
+		prevLen := r.payloadLen(off)
+		prevOlder := r.older(off)
+		oldPtr := NilPtr
+		if recOff, err := r.allocLocked(prevLen); err == nil {
+			r.setVersionWord(recOff, prevWord)
+			r.setOlder(recOff, prevOlder)
+			r.setPayloadLen(recOff, prevLen)
+			copy(r.data[recOff+hdrBytes:], r.data[off+hdrBytes:off+hdrBytes+prevLen])
+			oldPtr = Ptr{Addr: MakeAddr(r.id, recOff), Size: prevLen}
+			img := make([]byte, hdrBytes+prevLen)
+			copy(img, r.data[recOff:recOff+hdrBytes+prevLen])
+			ops = append(ops, regionOp{
+				allocOff: recOff, allocSize: r.alloc.slotSize(recOff),
+				off: recOff, bytes: img,
+			})
+		}
+		// If allocation failed the chain is truncated: readers below this
+		// version see ErrTooOld, which pinned snapshots prevent.
+		if w.freed {
+			r.setVersionWord(off, packVersion(commitTs, false, true))
+			r.setOlder(off, oldPtr)
+			r.setPayloadLen(off, 0)
+		} else {
+			r.setVersionWord(off, packVersion(commitTs, false, false))
+			r.setOlder(off, oldPtr)
+			r.setPayloadLen(off, uint32(len(w.data)))
+			copy(r.data[off+hdrBytes:], w.data)
+		}
+		img := make([]byte, hdrBytes+len(w.data))
+		copy(img, r.data[off:off+hdrBytes+uint32(len(w.data))])
+		ops = append(ops, regionOp{off: off, bytes: img})
+	}
+	return ops
+}
+
+// applyToBackup mirrors primary mutations onto a backup replica.
+func applyToBackup(r *Region, ops []regionOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, op := range ops {
+		if op.isFree {
+			r.freeLocked(op.freeOff)
+			continue
+		}
+		if op.allocSize > 0 {
+			r.applyAllocLocked(op.allocOff, op.allocSize-hdrBytes)
+		}
+		r.ensure(op.off + uint32(len(op.bytes)))
+		copy(r.data[op.off:], op.bytes)
+	}
+}
+
+// AtomicAddUint64 is a convenience transaction that atomically increments a
+// 64-bit counter stored in an object (the paper's Figure 3 example).
+func AtomicAddUint64(c *fabric.Ctx, f *Farm, p Ptr, delta uint64) (uint64, error) {
+	var result uint64
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		buf, err := tx.Read(p)
+		if err != nil {
+			return err
+		}
+		v := binary.LittleEndian.Uint64(buf.Data())
+		v += delta
+		w, err := tx.OpenForWrite(buf)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(w.Data(), v)
+		result = v
+		return nil
+	})
+	return result, err
+}

@@ -1,0 +1,37 @@
+package farm
+
+import "errors"
+
+// Sentinel errors returned by the storage and transaction layers.
+var (
+	// ErrConflict aborts an optimistic transaction that lost a race; the
+	// caller is expected to retry (paper Figure 3's retry loop).
+	ErrConflict = errors.New("farm: transaction conflict")
+	// ErrAborted is returned by operations on a transaction that has
+	// already been aborted.
+	ErrAborted = errors.New("farm: transaction aborted")
+	// ErrCommitted is returned by operations on a finished transaction.
+	ErrCommitted = errors.New("farm: transaction already finished")
+	// ErrReadOnly is returned when a read-only transaction attempts a
+	// mutation.
+	ErrReadOnly = errors.New("farm: read-only transaction")
+	// ErrNotFound is returned when the version of an object visible at the
+	// snapshot timestamp is a tombstone (the object was freed).
+	ErrNotFound = errors.New("farm: object not found")
+	// ErrBadAddr is returned for addresses that do not name a live
+	// allocation.
+	ErrBadAddr = errors.New("farm: bad address")
+	// ErrTooOld is returned when a snapshot read needs a version that has
+	// been garbage collected. Queries pin their snapshot to prevent this.
+	ErrTooOld = errors.New("farm: snapshot version garbage collected")
+	// ErrRegionFull is returned by the allocator when a region is
+	// exhausted; Alloc falls back to another region.
+	ErrRegionFull = errors.New("farm: region full")
+	// ErrTooLarge is returned for objects above the 1MB limit.
+	ErrTooLarge = errors.New("farm: object too large")
+	// ErrRegionLost is returned when every replica of a region is
+	// unavailable and fast restart cannot recover it.
+	ErrRegionLost = errors.New("farm: region lost")
+	// ErrNoSpace is returned when no machine can host a new region.
+	ErrNoSpace = errors.New("farm: cluster out of memory")
+)

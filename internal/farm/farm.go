@@ -1,0 +1,403 @@
+package farm
+
+import (
+	"sync"
+	"time"
+
+	"a1/internal/fabric"
+)
+
+// Config parameterizes a FaRM cluster.
+type Config struct {
+	// RegionSize is the maximum bytes per region. Production FaRM uses 2GB
+	// regions; tests and simulations use smaller regions so that data
+	// spreads across many machines at laptop scale.
+	RegionSize uint32
+	// Replicas is the replication factor (3 in production: one primary and
+	// two backups across fault domains).
+	Replicas int
+	// ClockUncertainty is the synchronized-clock error bound waited out at
+	// commit (FaRMv2 §5.2).
+	ClockUncertainty time.Duration
+}
+
+// DefaultConfig returns production-shaped parameters scaled for simulation.
+func DefaultConfig() Config {
+	return Config{
+		RegionSize:       16 << 20,
+		Replicas:         3,
+		ClockUncertainty: 0,
+	}
+}
+
+// Machine is the per-machine FaRM process state: everything that does NOT
+// survive a process crash (caches, in-flight transactions). Region data
+// itself lives in the Driver and does survive (fast restart, §5.3).
+type Machine struct {
+	ID fabric.MachineID
+
+	mu        sync.Mutex
+	nodeCache map[Addr]cachedNode // B-tree inner-node cache
+	epoch     uint64              // bumped on process restart
+}
+
+func newMachine(id fabric.MachineID) *Machine {
+	return &Machine{ID: id, nodeCache: make(map[Addr]cachedNode)}
+}
+
+// Farm is a FaRM cluster: machines, drivers, the configuration manager and
+// the global clock. It exposes the transactional object store the rest of
+// A1 is built on.
+type Farm struct {
+	fab      *fabric.Fabric
+	cfg      Config
+	cm       *CM
+	clock    *Clock
+	drivers  []*Driver
+	machines []*Machine
+
+	pinMu sync.Mutex
+	pins  map[uint64]int // snapshot ts -> active query count (blocks GC)
+}
+
+// Open creates a FaRM cluster over the fabric.
+func Open(fab *fabric.Fabric, cfg Config) *Farm {
+	if cfg.RegionSize == 0 {
+		cfg.RegionSize = DefaultConfig().RegionSize
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Replicas > fab.Machines() {
+		cfg.Replicas = fab.Machines()
+	}
+	f := &Farm{
+		fab:  fab,
+		cfg:  cfg,
+		pins: make(map[uint64]int),
+	}
+	f.cm = newCM(f)
+	f.clock = NewClock(fab, cfg.ClockUncertainty)
+	f.drivers = make([]*Driver, fab.Machines())
+	f.machines = make([]*Machine, fab.Machines())
+	for i := range f.drivers {
+		f.drivers[i] = NewDriver()
+		f.machines[i] = newMachine(fabric.MachineID(i))
+	}
+	return f
+}
+
+// Fabric returns the communication fabric.
+func (f *Farm) Fabric() *fabric.Fabric { return f.fab }
+
+// Clock returns the global clock.
+func (f *Farm) Clock() *Clock { return f.clock }
+
+// Config returns the cluster configuration.
+func (f *Farm) Config() Config { return f.cfg }
+
+// CM returns the configuration manager.
+func (f *Farm) CM() *CM { return f.cm }
+
+// Machine returns the process state of machine m.
+func (f *Farm) Machine(m fabric.MachineID) *Machine { return f.machines[m] }
+
+// PrimaryOf maps an address to the machine hosting the primary replica of
+// its region — the local metadata operation the query engine uses to ship
+// operators to data (paper §3.4).
+func (f *Farm) PrimaryOf(c *fabric.Ctx, a Addr) (fabric.MachineID, error) {
+	return f.cm.lookup(c, a.Region())
+}
+
+// regionAt returns the replica of region id hosted on machine m.
+func (f *Farm) regionAt(m fabric.MachineID, id RegionID) (*Region, bool) {
+	return f.drivers[m].Get(id)
+}
+
+// allocSlot reserves a slot for payload bytes, preferring a region whose
+// primary is the machine `near` (locality, paper §2.2). It returns the new
+// address and the class-rounded slot so the caller can track replication.
+func (f *Farm) allocSlot(c *fabric.Ctx, near fabric.MachineID, payload uint32) (Addr, error) {
+	// Try regions already owned by the target machine.
+	for _, id := range f.cm.primariesOn(near) {
+		r, ok := f.regionAt(near, id)
+		if !ok {
+			continue
+		}
+		r.mu.Lock()
+		if r.alloc.hasSpace(payload) {
+			off, err := r.allocLocked(payload)
+			r.mu.Unlock()
+			if err == nil {
+				return MakeAddr(id, off), nil
+			}
+			continue
+		}
+		r.mu.Unlock()
+	}
+	// Create a new region with its primary on the target machine.
+	id, err := f.cm.createRegion(c, near)
+	if err != nil {
+		return NilAddr, err
+	}
+	r, ok := f.regionAt(near, id)
+	if !ok {
+		// CM placed the primary elsewhere (machine down).
+		primary, perr := f.cm.lookup(c, id)
+		if perr != nil {
+			return NilAddr, perr
+		}
+		r, ok = f.regionAt(primary, id)
+		if !ok {
+			return NilAddr, ErrRegionLost
+		}
+	}
+	r.mu.Lock()
+	off, err := r.allocLocked(payload)
+	r.mu.Unlock()
+	if err != nil {
+		return NilAddr, err
+	}
+	return MakeAddr(id, off), nil
+}
+
+// PinSnapshot registers an active reader at timestamp ts so version GC will
+// not collect versions it may still need (paper §2.2: snapshot versions are
+// not garbage collected until the query runs to completion). The returned
+// function releases the pin.
+func (f *Farm) PinSnapshot(ts uint64) func() {
+	f.pinMu.Lock()
+	f.pins[ts]++
+	f.pinMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			f.pinMu.Lock()
+			if f.pins[ts]--; f.pins[ts] <= 0 {
+				delete(f.pins, ts)
+			}
+			f.pinMu.Unlock()
+		})
+	}
+}
+
+// gcWatermark returns the highest timestamp below which old versions are
+// reclaimable: the minimum pinned snapshot, or the current clock if no
+// reader is active.
+func (f *Farm) gcWatermark() uint64 {
+	f.pinMu.Lock()
+	defer f.pinMu.Unlock()
+	min := f.clock.Current()
+	for ts := range f.pins {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// GCVersions reclaims version-chain records that no active or future reader
+// can need, and fully reclaims objects whose visible version is a
+// tombstone. It returns the number of slots freed. GC decisions are made at
+// each region's primary and mirrored to backups.
+func (f *Farm) GCVersions(c *fabric.Ctx) int {
+	before := f.gcWatermark()
+	freedTotal := 0
+	for _, id := range f.cm.regionIDs() {
+		replicas := f.cm.replicasOf(id)
+		if len(replicas) == 0 {
+			continue
+		}
+		primary := replicas[0]
+		r, ok := f.regionAt(primary, id)
+		if !ok {
+			continue
+		}
+		freed := gcRegion(r, before)
+		freedTotal += len(freed)
+		if len(freed) == 0 {
+			continue
+		}
+		for _, b := range replicas[1:] {
+			if br, ok := f.regionAt(b, id); ok {
+				br.mu.Lock()
+				for _, off := range freed {
+					br.freeLocked(off)
+				}
+				br.mu.Unlock()
+			}
+		}
+	}
+	return freedTotal
+}
+
+// gcRegion trims version chains in one region. For each live object it
+// keeps the newest version visible at `before` and everything newer, frees
+// strictly older records, and reclaims whole objects whose visible version
+// is a tombstone. It returns the freed offsets (for backup mirroring).
+func gcRegion(r *Region, before uint64) []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var freed []uint32
+	heads := r.alloc.liveOffsets()
+	isChainRec := markChainRecords(r, heads)
+	for _, off := range heads {
+		if isChainRec[off] {
+			continue // version record, handled via its head
+		}
+		vw := r.versionWord(off)
+		ts := versionTs(vw)
+		if versionLocked(vw) {
+			continue // commit in progress
+		}
+		if versionTombed(vw) && ts <= before {
+			// Deleted and visible to nobody current: reclaim object + chain.
+			freed = appendChainFrees(r, r.older(off), freed)
+			r.setOlder(off, NilPtr)
+			r.freeLocked(off)
+			freed = append(freed, off)
+			continue
+		}
+		if ts <= before {
+			// Head itself is visible at the watermark: entire chain dead.
+			old := r.older(off)
+			if !old.IsNil() {
+				freed = appendChainFrees(r, old, freed)
+				r.setOlder(off, NilPtr)
+			}
+			continue
+		}
+		// Walk to the newest record with ts <= before; keep it, free tail.
+		prevOff := off
+		p := r.older(off)
+		for !p.IsNil() && p.Addr.Region() == r.id {
+			recOff := p.Addr.Offset()
+			if !r.alloc.isLive(recOff) {
+				break
+			}
+			if versionTs(r.versionWord(recOff)) <= before {
+				tail := r.older(recOff)
+				if !tail.IsNil() {
+					freed = appendChainFrees(r, tail, freed)
+					r.setOlder(recOff, NilPtr)
+				}
+				break
+			}
+			prevOff = recOff
+			p = r.older(recOff)
+		}
+		_ = prevOff
+	}
+	return freed
+}
+
+// markChainRecords identifies which live slots are old-version records
+// (reachable through some head's older pointer) rather than object heads.
+func markChainRecords(r *Region, heads []uint32) map[uint32]bool {
+	rec := make(map[uint32]bool)
+	for _, off := range heads {
+		p := r.older(off)
+		for !p.IsNil() && p.Addr.Region() == r.id {
+			ro := p.Addr.Offset()
+			if rec[ro] || !r.alloc.isLive(ro) {
+				break
+			}
+			rec[ro] = true
+			p = r.older(ro)
+		}
+	}
+	return rec
+}
+
+func appendChainFrees(r *Region, p Ptr, freed []uint32) []uint32 {
+	for !p.IsNil() && p.Addr.Region() == r.id {
+		off := p.Addr.Offset()
+		if !r.alloc.isLive(off) {
+			break
+		}
+		next := r.older(off)
+		r.freeLocked(off)
+		freed = append(freed, off)
+		p = next
+	}
+	return freed
+}
+
+// KillMachine simulates a machine-level failure (power loss): the machine
+// drops off the network and its driver memory is wiped. The CM fails over
+// its regions.
+func (f *Farm) KillMachine(c *fabric.Ctx, m fabric.MachineID) {
+	f.fab.Fail(m)
+	f.drivers[m].Wipe()
+	f.cm.handleFailure(c, m)
+}
+
+// KillMachines simulates a correlated failure — e.g. power loss hitting
+// several fault domains at once: every machine drops off the network before
+// the CM can re-replicate anything. Regions with all replicas in the blast
+// radius are permanently lost (the disaster-recovery case, §4).
+func (f *Farm) KillMachines(c *fabric.Ctx, ms ...fabric.MachineID) {
+	for _, m := range ms {
+		f.fab.Fail(m)
+		f.drivers[m].Wipe()
+	}
+	for _, m := range ms {
+		f.cm.handleFailure(c, m)
+	}
+}
+
+// CrashProcess simulates a FaRM/A1 process crash: process state (caches,
+// transactions) is lost but driver memory survives. The machine is
+// unreachable until RestartProcess.
+func (f *Farm) CrashProcess(c *fabric.Ctx, m fabric.MachineID) {
+	f.fab.Fail(m)
+	f.machines[m] = newMachine(m)
+	f.cm.handleFailure(c, m)
+}
+
+// CrashProcesses crashes several processes at once (a correlated software
+// outage — e.g. a bad deployment hitting all three replicas of a region,
+// §5.3). Driver memory survives on every host.
+func (f *Farm) CrashProcesses(c *fabric.Ctx, ms ...fabric.MachineID) {
+	for _, m := range ms {
+		f.fab.Fail(m)
+		f.machines[m] = newMachine(m)
+	}
+	for _, m := range ms {
+		f.cm.handleFailure(c, m)
+	}
+}
+
+// RestartProcess performs a fast restart of machine m: the new process
+// re-maps region replicas from driver memory and rejoins the cluster,
+// recovering lost regions without data loss (paper §5.3).
+func (f *Farm) RestartProcess(c *fabric.Ctx, m fabric.MachineID) {
+	f.fab.Restore(m)
+	f.machines[m].mu.Lock()
+	f.machines[m].epoch++
+	f.machines[m].mu.Unlock()
+	f.cm.handleRestart(c, m)
+}
+
+// RebootMachine restores a machine whose memory was wiped (after
+// KillMachine). Its data is gone; only disaster recovery can restore it.
+func (f *Farm) RebootMachine(c *fabric.Ctx, m fabric.MachineID) {
+	f.fab.Restore(m)
+	f.machines[m] = newMachine(m)
+	f.cm.handleRestart(c, m)
+}
+
+// UsedBytes reports total allocated bytes across primary replicas.
+func (f *Farm) UsedBytes() uint64 {
+	var total uint64
+	for _, id := range f.cm.regionIDs() {
+		reps := f.cm.replicasOf(id)
+		if len(reps) == 0 {
+			continue
+		}
+		if r, ok := f.regionAt(reps[0], id); ok {
+			total += r.usedBytes()
+		}
+	}
+	return total
+}

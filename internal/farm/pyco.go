@@ -1,0 +1,60 @@
+package farm
+
+import "sync"
+
+// Driver models the PyCo kernel driver (paper §5.3): memory that belongs to
+// the physical host rather than to the FaRM process. Region replicas — data
+// and allocator metadata — live here, so when the process crashes and
+// restarts ("fast restart") the new process re-maps them and no data is
+// lost. A machine reboot (power cycle) clears the driver, which is the case
+// disaster recovery exists for.
+type Driver struct {
+	mu       sync.Mutex
+	segments map[RegionID]*Region
+}
+
+// NewDriver allocates an empty driver for one physical host.
+func NewDriver() *Driver {
+	return &Driver{segments: make(map[RegionID]*Region)}
+}
+
+// Attach registers a region replica in driver memory.
+func (d *Driver) Attach(r *Region) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.segments[r.ID()] = r
+}
+
+// Detach removes a region replica (when the CM moves it elsewhere).
+func (d *Driver) Detach(id RegionID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.segments, id)
+}
+
+// Get returns the replica of region id hosted here, if any.
+func (d *Driver) Get(id RegionID) (*Region, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.segments[id]
+	return r, ok
+}
+
+// Regions returns the ids of all replicas hosted here.
+func (d *Driver) Regions() []RegionID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]RegionID, 0, len(d.segments))
+	for id := range d.segments {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Wipe clears driver memory — what a power cycle does. After Wipe the data
+// is unrecoverable locally and only disaster recovery can restore it.
+func (d *Driver) Wipe() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.segments = make(map[RegionID]*Region)
+}

@@ -1,0 +1,504 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"a1/internal/fabric"
+)
+
+// Tx is a FaRM transaction (paper §2.1, Figure 2): all object reads, writes,
+// allocations and frees happen in its context. Update transactions run under
+// optimistic concurrency control with commit-time validation; read-only
+// transactions read a consistent multi-version snapshot and never abort due
+// to conflicts (FaRMv2, §5.2). Both enjoy opacity: no transaction — even one
+// that will abort — ever observes state inconsistent with some serial order.
+//
+// A transaction belongs to a single fiber of execution, as in FaRM's
+// coprocessor model; it must not be shared across goroutines.
+type Tx struct {
+	farm     *Farm
+	c        *fabric.Ctx
+	readTs   uint64
+	readOnly bool
+	status   txStatus
+
+	reads  map[Addr]uint64  // validated at commit: addr -> version word seen
+	writes map[Addr]*ObjBuf // write set, including frees and new objects
+	cache  map[Addr]*ObjBuf // read cache for repeatable reads (update txs)
+
+	tsHooks   []func(ts uint64)
+	doneHooks []func()
+	commitTs  uint64
+}
+
+// OnCommitted registers fn to run synchronously after the transaction
+// commits successfully. A1's disaster-recovery layer uses it to attempt the
+// synchronous ObjectStore flush of the replication-log entries written by
+// the transaction (paper §4).
+func (tx *Tx) OnCommitted(fn func()) {
+	tx.doneHooks = append(tx.doneHooks, fn)
+}
+
+// OnCommitTimestamp registers fn to run during commit, after the write
+// timestamp is chosen but before any mutation is installed. Hooks may patch
+// the contents of buffers already in the write set — A1's disaster-recovery
+// layer uses this to stamp replication-log entries with the transaction's
+// real commit timestamp (paper §4).
+func (tx *Tx) OnCommitTimestamp(fn func(ts uint64)) {
+	tx.tsHooks = append(tx.tsHooks, fn)
+}
+
+// CommitTs returns the transaction's write timestamp (0 until committed).
+func (tx *Tx) CommitTs() uint64 { return tx.commitTs }
+
+type txStatus int
+
+const (
+	txActive txStatus = iota
+	txCommitted
+	txAborted
+)
+
+// ObjBuf wraps one FaRM object's payload (paper Figure 2). Read buffers are
+// immutable snapshots; OpenForWrite returns a locally-buffered writable
+// copy that is pushed to remote replicas at commit.
+type ObjBuf struct {
+	tx       *Tx
+	addr     Addr
+	data     []byte
+	writable bool
+	isNew    bool
+	freed    bool
+	baseVer  uint64 // committed version word observed (CAS expectation)
+	slotCap  uint32 // payload capacity of the allocated slot
+}
+
+// Addr returns the object's address.
+func (b *ObjBuf) Addr() Addr { return b.addr }
+
+// Ptr returns the fat pointer ⟨address, size⟩ for the current payload.
+func (b *ObjBuf) Ptr() Ptr { return Ptr{Addr: b.addr, Size: uint32(len(b.data))} }
+
+// Data returns the payload. For read buffers the slice must not be
+// modified; for writable buffers mutations are committed atomically.
+func (b *ObjBuf) Data() []byte { return b.data }
+
+// Cap returns the payload capacity of the object's slot.
+func (b *ObjBuf) Cap() uint32 { return b.slotCap }
+
+// Resize changes the payload length within the slot's capacity. Growing an
+// object beyond its slot requires allocating a new object (FaRM objects
+// have fixed placement; A1 re-links pointers instead, §3.2).
+func (b *ObjBuf) Resize(n uint32) error {
+	if !b.writable {
+		return errors.New("farm: Resize on read-only buffer")
+	}
+	if n > b.slotCap {
+		return fmt.Errorf("%w: %d > slot capacity %d", ErrTooLarge, n, b.slotCap)
+	}
+	if int(n) <= cap(b.data) {
+		b.data = b.data[:n]
+	} else {
+		nd := make([]byte, n)
+		copy(nd, b.data)
+		b.data = nd
+	}
+	return nil
+}
+
+// CreateTransaction starts an update transaction coordinated by the calling
+// machine; its snapshot is the current global time.
+func (f *Farm) CreateTransaction(c *fabric.Ctx) *Tx {
+	return &Tx{
+		farm:   f,
+		c:      c,
+		readTs: f.clock.Current(),
+		reads:  make(map[Addr]uint64),
+		writes: make(map[Addr]*ObjBuf),
+		cache:  make(map[Addr]*ObjBuf),
+	}
+}
+
+// CreateReadTransaction starts a read-only snapshot transaction at the
+// current global time. It never conflicts with updates.
+func (f *Farm) CreateReadTransaction(c *fabric.Ctx) *Tx {
+	return f.CreateReadTransactionAt(c, f.clock.Current())
+}
+
+// CreateReadTransactionAt starts a read-only transaction at an explicit
+// snapshot timestamp — how distributed query workers join the coordinator's
+// consistent snapshot (paper §3.4).
+func (f *Farm) CreateReadTransactionAt(c *fabric.Ctx, ts uint64) *Tx {
+	return &Tx{farm: f, c: c, readTs: ts, readOnly: true}
+}
+
+// ReadTs returns the transaction's snapshot timestamp.
+func (tx *Tx) ReadTs() uint64 { return tx.readTs }
+
+// ReadOnly reports whether this is a read-only snapshot transaction.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// Ctx returns the fabric context the transaction is coordinated from.
+func (tx *Tx) Ctx() *fabric.Ctx { return tx.c }
+
+func (tx *Tx) checkActive() error {
+	switch tx.status {
+	case txAborted:
+		return ErrAborted
+	case txCommitted:
+		return ErrCommitted
+	}
+	return nil
+}
+
+// Alloc allocates a new object of the given payload size. The hint places
+// the object in the same region as an existing object — and therefore on
+// the same machine through failures — implementing A1's locality principle
+// (paper §2.1/§2.2). A nil hint allocates near the coordinator.
+func (tx *Tx) Alloc(size uint32, hint Addr) (*ObjBuf, error) {
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	if tx.readOnly {
+		return nil, ErrReadOnly
+	}
+	near := tx.c.M
+	if !hint.IsNil() {
+		if m, err := tx.farm.cm.lookup(tx.c, hint.Region()); err == nil {
+			near = m
+		}
+	}
+	if near != tx.c.M {
+		// Remote allocation is a small control message to the region owner.
+		if err := tx.c.RPC(near, 32, func(*fabric.Ctx) (int, error) { return 16, nil }); err != nil {
+			near = tx.c.M
+		}
+	}
+	addr, err := tx.farm.allocSlot(tx.c, near, size)
+	if err != nil {
+		return nil, err
+	}
+	class, _ := classFor(size + hdrBytes)
+	buf := &ObjBuf{
+		tx:       tx,
+		addr:     addr,
+		data:     make([]byte, size),
+		writable: true,
+		isNew:    true,
+		slotCap:  class - hdrBytes,
+	}
+	tx.writes[addr] = buf
+	return buf, nil
+}
+
+// AllocOn allocates a new object with its region primary on an explicit
+// machine. A1 uses this to place vertices at random across the whole
+// cluster (paper §3.2) instead of near the coordinator.
+func (tx *Tx) AllocOn(m fabric.MachineID, size uint32) (*ObjBuf, error) {
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	if tx.readOnly {
+		return nil, ErrReadOnly
+	}
+	if m != tx.c.M {
+		if err := tx.c.RPC(m, 32, func(*fabric.Ctx) (int, error) { return 16, nil }); err != nil {
+			m = tx.c.M
+		}
+	}
+	addr, err := tx.farm.allocSlot(tx.c, m, size)
+	if err != nil {
+		return nil, err
+	}
+	class, _ := classFor(size + hdrBytes)
+	buf := &ObjBuf{
+		tx:       tx,
+		addr:     addr,
+		data:     make([]byte, size),
+		writable: true,
+		isNew:    true,
+		slotCap:  class - hdrBytes,
+	}
+	tx.writes[addr] = buf
+	return buf, nil
+}
+
+// Read fetches the object named by a fat pointer as of the transaction's
+// snapshot. A single (simulated) one-sided RDMA read suffices when the
+// newest version is visible; older snapshots walk the version chain.
+func (tx *Tx) Read(p Ptr) (*ObjBuf, error) {
+	return tx.ReadSized(p.Addr, p.Size)
+}
+
+// ReadSized is Read with an explicit size hint for the RDMA transfer.
+func (tx *Tx) ReadSized(addr Addr, sizeHint uint32) (*ObjBuf, error) {
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	if addr.IsNil() {
+		return nil, fmt.Errorf("%w: nil address", ErrBadAddr)
+	}
+	if w, ok := tx.writes[addr]; ok { // read-your-writes
+		if w.freed {
+			return nil, ErrNotFound
+		}
+		return w, nil
+	}
+	if !tx.readOnly {
+		if b, ok := tx.cache[addr]; ok { // repeatable reads
+			if b.freed {
+				return nil, ErrNotFound
+			}
+			return b, nil
+		}
+	}
+	snap, err := tx.readVersioned(addr, sizeHint)
+	if err != nil {
+		return nil, err
+	}
+	buf := &ObjBuf{
+		tx:      tx,
+		addr:    addr,
+		data:    snap.data,
+		baseVer: snap.version,
+		slotCap: uint32(len(snap.data)),
+	}
+	if !tx.readOnly {
+		tx.reads[addr] = snap.version
+		tx.cache[addr] = buf
+	}
+	if versionTombed(snap.version) {
+		buf.freed = true
+		return nil, ErrNotFound
+	}
+	return buf, nil
+}
+
+// lockRetryDelay is how long a reader backs off when it finds an object
+// locked by an in-flight commit; the pending commit may carry a timestamp
+// below the reader's snapshot, so the reader must wait for the outcome.
+const lockRetryDelay = 2 * time.Microsecond
+
+// readVersioned performs the snapshot read protocol against the region's
+// primary replica.
+func (tx *Tx) readVersioned(addr Addr, sizeHint uint32) (objectSnapshot, error) {
+	f := tx.farm
+	region := addr.Region()
+	off := addr.Offset()
+	for attempt := 0; ; attempt++ {
+		primary, err := f.cm.lookup(tx.c, region)
+		if err != nil {
+			return objectSnapshot{}, err
+		}
+		if rerr := tx.c.ReadRemote(primary, int(sizeHint)+hdrBytes); rerr != nil {
+			// The primary dropped off the network mid-read: trigger
+			// failover and retry against the new primary.
+			f.cm.handleFailure(tx.c, primary)
+			if attempt > 64 {
+				return objectSnapshot{}, rerr
+			}
+			continue
+		}
+		r, ok := f.regionAt(primary, region)
+		if !ok {
+			if attempt > 64 {
+				return objectSnapshot{}, fmt.Errorf("%w: region %d missing at %v", ErrRegionLost, region, primary)
+			}
+			tx.c.Sleep(lockRetryDelay)
+			continue
+		}
+		snap, err := r.readObject(off)
+		if err != nil {
+			return objectSnapshot{}, err
+		}
+		if versionLocked(snap.version) {
+			// Commit in progress; its timestamp may be below our snapshot.
+			tx.c.Sleep(lockRetryDelay)
+			continue
+		}
+		if versionTs(snap.version) <= tx.readTs {
+			return snap, nil
+		}
+		// The head version is newer than our snapshot.
+		if !tx.readOnly {
+			// Opacity for update transactions: abort cleanly rather than
+			// expose state we could never commit against (§5.2).
+			tx.Abort()
+			return objectSnapshot{}, fmt.Errorf("%w: read of newer version", ErrConflict)
+		}
+		return tx.walkVersionChain(primary, r, snap)
+	}
+}
+
+// walkVersionChain follows older-version pointers — additional one-sided
+// reads within the same region — until it finds the newest version visible
+// at the snapshot timestamp.
+func (tx *Tx) walkVersionChain(primary fabric.MachineID, r *Region, head objectSnapshot) (objectSnapshot, error) {
+	p := head.older
+	for !p.IsNil() {
+		if err := tx.c.ReadRemote(primary, int(p.Size)+hdrBytes); err != nil {
+			return objectSnapshot{}, err
+		}
+		rec, err := r.readObject(p.Addr.Offset())
+		if err != nil {
+			return objectSnapshot{}, fmt.Errorf("%w: version chain broken", ErrTooOld)
+		}
+		if versionTs(rec.version) <= tx.readTs {
+			return rec, nil
+		}
+		p = rec.older
+	}
+	return objectSnapshot{}, ErrTooOld
+}
+
+// OpenForWrite returns a writable copy of a previously read object. Writes
+// are buffered locally and pushed to replicas at commit (paper Figure 3).
+func (tx *Tx) OpenForWrite(buf *ObjBuf) (*ObjBuf, error) {
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	if tx.readOnly {
+		return nil, ErrReadOnly
+	}
+	if buf.tx != tx {
+		return nil, errors.New("farm: OpenForWrite on buffer from another transaction")
+	}
+	if buf.freed {
+		return nil, ErrNotFound
+	}
+	if buf.writable {
+		return buf, nil
+	}
+	if w, ok := tx.writes[buf.addr]; ok {
+		return w, nil
+	}
+	data := make([]byte, len(buf.data))
+	copy(data, buf.data)
+	w := &ObjBuf{
+		tx:       tx,
+		addr:     buf.addr,
+		data:     data,
+		writable: true,
+		baseVer:  buf.baseVer,
+		slotCap:  tx.slotCapOf(buf.addr, uint32(len(data))),
+	}
+	tx.writes[buf.addr] = w
+	return w, nil
+}
+
+// slotCapOf asks the primary's allocator for the slot capacity (local
+// metadata at the region owner; no data-path cost).
+func (tx *Tx) slotCapOf(addr Addr, fallback uint32) uint32 {
+	primary, err := tx.farm.cm.lookup(tx.c, addr.Region())
+	if err != nil {
+		return fallback
+	}
+	r, ok := tx.farm.regionAt(primary, addr.Region())
+	if !ok {
+		return fallback
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if cap := r.alloc.slotSize(addr.Offset()); cap > hdrBytes {
+		return cap - hdrBytes
+	}
+	return fallback
+}
+
+// Free deletes an object. The slot is reclaimed by version GC once no
+// active snapshot can still see it; until then readers at older snapshots
+// continue to read the prior version.
+func (tx *Tx) Free(buf *ObjBuf) error {
+	if err := tx.checkActive(); err != nil {
+		return err
+	}
+	if tx.readOnly {
+		return ErrReadOnly
+	}
+	if buf.tx != tx {
+		return errors.New("farm: Free on buffer from another transaction")
+	}
+	if buf.isNew {
+		// Allocated in this transaction: never published, release the slot.
+		delete(tx.writes, buf.addr)
+		tx.releaseSlot(buf.addr)
+		buf.freed = true
+		return nil
+	}
+	w, err := tx.OpenForWrite(buf)
+	if err != nil {
+		return err
+	}
+	w.freed = true
+	return nil
+}
+
+// releaseSlot returns an unpublished allocation to the primary allocator.
+func (tx *Tx) releaseSlot(addr Addr) {
+	primary, err := tx.farm.cm.lookup(tx.c, addr.Region())
+	if err != nil {
+		return
+	}
+	if r, ok := tx.farm.regionAt(primary, addr.Region()); ok {
+		r.mu.Lock()
+		r.freeLocked(addr.Offset())
+		r.mu.Unlock()
+	}
+}
+
+// Abort abandons the transaction, releasing any slots allocated by it.
+func (tx *Tx) Abort() {
+	if tx.status != txActive {
+		return
+	}
+	tx.status = txAborted
+	for addr, w := range tx.writes {
+		if w.isNew {
+			tx.releaseSlot(addr)
+		}
+	}
+}
+
+// RunTransaction is the canonical optimistic retry loop from paper Figure 3:
+// run fn inside a fresh transaction, commit, and retry on conflict with
+// jittered backoff.
+func RunTransaction(c *fabric.Ctx, f *Farm, fn func(tx *Tx) error) error {
+	const maxAttempts = 64
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		tx := f.CreateTransaction(c)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		lastErr = err
+		backoff := time.Duration(attempt+1) * 5 * time.Microsecond
+		if f.fab.Config().Mode == fabric.Sim {
+			backoff += time.Duration(f.fab.Env().Rand().Int63n(int64(backoff) + 1))
+		}
+		c.Sleep(backoff)
+	}
+	return fmt.Errorf("farm: transaction retry budget exhausted: %w", lastErr)
+}
+
+// sortedWriteAddrs returns the write set in address order; locking in a
+// deterministic global order avoids lock-order livelock between committers.
+func (tx *Tx) sortedWriteAddrs() []Addr {
+	addrs := make([]Addr, 0, len(tx.writes))
+	for a := range tx.writes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}

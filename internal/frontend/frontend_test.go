@@ -1,0 +1,123 @@
+package frontend
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+	"a1/internal/query"
+	"a1/internal/workload"
+)
+
+func newTier(t *testing.T) (*Tier, *core.Graph, *fabric.Ctx) {
+	t.Helper()
+	fab := fabric.New(fabric.DefaultConfig(8, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "bing")
+	s.CreateGraph(c, "bing", "kg")
+	g, err := s.OpenGraph(c, "bing", "kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := workload.NewFilmKG(workload.TestParams())
+	if err := kg.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	cfg := query.DefaultConfig()
+	cfg.PageSize = 10
+	engine := query.NewEngine(s, cfg)
+	return New(fab, engine, Config{Frontends: 2}), g, c
+}
+
+func TestEndToEndQueryThroughFrontend(t *testing.T) {
+	tier, g, c := newTier(t)
+	res, err := tier.Query(c, g, []byte(`{ "id" : "steven.spielberg",
+	  "_out_edge" : { "_type" : "director.film",
+	    "_vertex" : { "_select" : ["_count(*)"] }}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Error("zero films through frontend")
+	}
+}
+
+func TestContinuationRoutedToCoordinator(t *testing.T) {
+	tier, g, c := newTier(t)
+	res, err := tier.Query(c, g, []byte(`{"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(res.Rows)
+	pages := 1
+	for res.Continuation != "" {
+		res, err = tier.Fetch(c, res.Continuation)
+		if err != nil {
+			t.Fatalf("fetch page %d: %v", pages, err)
+		}
+		total += len(res.Rows)
+		pages++
+	}
+	if pages < 2 {
+		t.Fatalf("expected multiple pages, got %d", pages)
+	}
+	want := workload.TestParams().ActorPool + 1 // pool + tom hanks
+	if total != want {
+		t.Errorf("total rows = %d, want %d", total, want)
+	}
+}
+
+func TestThrottling(t *testing.T) {
+	fab := fabric.New(fabric.DefaultConfig(4, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 8 << 20})
+	c := fab.NewCtx(0, nil)
+	s, _ := core.Open(c, f, core.DefaultConfig())
+	engine := query.NewEngine(s, query.DefaultConfig())
+	tier := New(fab, engine, Config{Frontends: 1, MaxInflight: 2})
+	// Hold two slots, third request must throttle.
+	fe1, err := tier.pickFrontend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe2, err := tier.pickFrontend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tier.pickFrontend(); !errors.Is(err, ErrThrottled) {
+		t.Errorf("third concurrent request err = %v, want ErrThrottled", err)
+	}
+	tier.release(fe1)
+	tier.release(fe2)
+	if _, err := tier.pickFrontend(); err != nil {
+		t.Errorf("after release err = %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	tier, g, c := newTier(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := tier.Query(c, g, []byte(`{"id": "tom.hanks", "_select": ["id"]}`))
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query: %v", err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package objectstore reimplements the durable key-value store A1 uses for
+// disaster recovery (paper §4): tables of Bond-schematized key-value pairs,
+// 3-way durable replication (simulated as always-durable in-memory state
+// that survives any A1 cluster event), a native timestamp-conditional
+// upsert that applies updates in transaction-timestamp order in a single
+// round trip, and a versioned-row mode whose sorted key iteration supports
+// consistent snapshot recovery.
+package objectstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrUnavailable is injected by tests to exercise the asynchronous
+// replication sweeper path.
+var ErrUnavailable = errors.New("objectstore: temporarily unavailable")
+
+// ErrNoTable is returned for operations on tables that do not exist.
+var ErrNoTable = errors.New("objectstore: no such table")
+
+// Mode selects how a table stores rows.
+type Mode int
+
+const (
+	// BestEffort keeps one row per key stamped with the transaction
+	// timestamp; upserts apply only if newer. Recovery from such a table is
+	// internally consistent but not transactionally consistent (§4).
+	BestEffort Mode = iota
+	// Versioned keeps every version of a key as ⟨(key,timestamp)→value⟩,
+	// supporting recovery to any consistent snapshot at or below the
+	// durability watermark.
+	Versioned
+)
+
+// Row is one stored entry.
+type Row struct {
+	Key       []byte
+	Value     []byte
+	Ts        uint64
+	Tombstone bool
+}
+
+// Store is a set of tables plus named durability watermarks (the tR values
+// A1 persists for consistent recovery).
+type Store struct {
+	mu          sync.Mutex
+	tables      map[string]*Table
+	watermarks  map[string]uint64
+	unavailable bool
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tables: make(map[string]*Table), watermarks: make(map[string]uint64)}
+}
+
+// SetUnavailable toggles fault injection: while set, every table operation
+// fails with ErrUnavailable (the synchronous replication attempt fails and
+// entries accumulate in A1's replication log).
+func (s *Store) SetUnavailable(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unavailable = v
+}
+
+func (s *Store) check() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unavailable {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// CreateTable creates (or returns) a table with the given mode.
+func (s *Store) CreateTable(name string, mode Mode) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[name]; ok {
+		return t
+	}
+	t := &Table{store: s, name: name, mode: mode, rows: make(map[string]Row), versions: make(map[string][]Row)}
+	s.tables[name] = t
+	return t
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unavailable {
+		return nil, ErrUnavailable
+	}
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	return t, nil
+}
+
+// DropTable removes a table and its contents.
+func (s *Store) DropTable(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, name)
+}
+
+// TableNames lists tables in sorted order.
+func (s *Store) TableNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PutWatermark durably records a named watermark (e.g. the oldest
+// unreplicated timestamp tR).
+func (s *Store) PutWatermark(name string, ts uint64) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.watermarks[name]; !ok || ts > cur {
+		s.watermarks[name] = ts
+	}
+	return nil
+}
+
+// Watermark reads a named watermark.
+func (s *Store) Watermark(name string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.watermarks[name]
+	return ts, ok
+}
+
+// Table is one key-value table.
+type Table struct {
+	store *Store
+	name  string
+	mode  Mode
+
+	mu       sync.Mutex
+	rows     map[string]Row   // BestEffort mode
+	versions map[string][]Row // Versioned mode: ascending by Ts
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Mode returns the table's storage mode.
+func (t *Table) Mode() Mode { return t.mode }
+
+// UpsertIfNewer stores value under key iff ts is newer than the stored
+// row's timestamp — the single-round-trip conditional API the paper
+// describes. In Versioned mode every version is retained unconditionally.
+// The operation is idempotent: replaying a replication-log entry cannot
+// change the outcome.
+func (t *Table) UpsertIfNewer(key, value []byte, ts uint64) error {
+	if err := t.store.check(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := Row{Key: append([]byte(nil), key...), Value: append([]byte(nil), value...), Ts: ts}
+	if t.mode == Versioned {
+		t.insertVersionLocked(row)
+		return nil
+	}
+	if cur, ok := t.rows[string(key)]; ok && cur.Ts >= ts {
+		return nil // stale update discarded
+	}
+	t.rows[string(key)] = row
+	return nil
+}
+
+// DeleteIfNewer records a deletion at ts: a tombstone row in BestEffort
+// mode (removed later by tombstone GC), a tombstone version in Versioned
+// mode. Idempotent like UpsertIfNewer.
+func (t *Table) DeleteIfNewer(key []byte, ts uint64) error {
+	if err := t.store.check(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := Row{Key: append([]byte(nil), key...), Ts: ts, Tombstone: true}
+	if t.mode == Versioned {
+		t.insertVersionLocked(row)
+		return nil
+	}
+	if cur, ok := t.rows[string(key)]; ok && cur.Ts >= ts {
+		return nil
+	}
+	t.rows[string(key)] = row
+	return nil
+}
+
+func (t *Table) insertVersionLocked(row Row) {
+	k := string(row.Key)
+	vs := t.versions[k]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Ts >= row.Ts })
+	if i < len(vs) && vs[i].Ts == row.Ts {
+		return // idempotent replay
+	}
+	vs = append(vs, Row{})
+	copy(vs[i+1:], vs[i:])
+	vs[i] = row
+	t.versions[k] = vs
+}
+
+// Get returns the current row for key (BestEffort mode).
+func (t *Table) Get(key []byte) (Row, bool, error) {
+	if err := t.store.check(); err != nil {
+		return Row{}, false, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mode == Versioned {
+		vs := t.versions[string(key)]
+		if len(vs) == 0 {
+			return Row{}, false, nil
+		}
+		return vs[len(vs)-1], true, nil
+	}
+	r, ok := t.rows[string(key)]
+	return r, ok, nil
+}
+
+// LatestAtOrBelow returns the newest version of key with Ts <= ts
+// (Versioned mode) — the primitive consistent recovery is built on.
+func (t *Table) LatestAtOrBelow(key []byte, ts uint64) (Row, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vs := t.versions[string(key)]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Ts > ts })
+	if i == 0 {
+		return Row{}, false
+	}
+	return vs[i-1], true
+}
+
+// Scan visits current rows (including tombstones) in sorted key order.
+func (t *Table) Scan(fn func(Row) bool) error {
+	if err := t.store.check(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	var rows []Row
+	if t.mode == Versioned {
+		for _, vs := range t.versions {
+			rows = append(rows, vs[len(vs)-1])
+		}
+	} else {
+		for _, r := range t.rows {
+			rows = append(rows, r)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return string(rows[i].Key) < string(rows[j].Key) })
+	for _, r := range rows {
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanAtOrBelow visits, for every key, the newest version with Ts <= ts in
+// sorted key order (Versioned mode).
+func (t *Table) ScanAtOrBelow(ts uint64, fn func(Row) bool) error {
+	if err := t.store.check(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	var rows []Row
+	for _, vs := range t.versions {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].Ts > ts })
+		if i > 0 {
+			rows = append(rows, vs[i-1])
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return string(rows[i].Key) < string(rows[j].Key) })
+	for _, r := range rows {
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// GCTombstones removes tombstone rows older than before (the offline GC
+// the paper runs weekly). Returns the number removed.
+func (t *Table) GCTombstones(before uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	if t.mode == Versioned {
+		for k, vs := range t.versions {
+			last := vs[len(vs)-1]
+			if last.Tombstone && last.Ts < before {
+				delete(t.versions, k)
+				n++
+			}
+		}
+		return n
+	}
+	for k, r := range t.rows {
+		if r.Tombstone && r.Ts < before {
+			delete(t.rows, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of distinct keys (tombstones included).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mode == Versioned {
+		return len(t.versions)
+	}
+	return len(t.rows)
+}

@@ -1,0 +1,181 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestUpsertIfNewerOrdering(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", BestEffort)
+	// Newer wins regardless of arrival order.
+	if err := tb.UpsertIfNewer([]byte("k"), []byte("v2"), 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.UpsertIfNewer([]byte("k"), []byte("v1"), 10); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := tb.Get([]byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if string(r.Value) != "v2" || r.Ts != 20 {
+		t.Errorf("row = %q@%d, want v2@20 (stale update must be discarded)", r.Value, r.Ts)
+	}
+}
+
+func TestUpsertIdempotent(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", BestEffort)
+	for i := 0; i < 3; i++ { // replication log may flush an entry many times
+		tb.UpsertIfNewer([]byte("k"), []byte("v"), 5)
+	}
+	r, _, _ := tb.Get([]byte("k"))
+	if string(r.Value) != "v" || r.Ts != 5 {
+		t.Errorf("row = %q@%d", r.Value, r.Ts)
+	}
+}
+
+func TestDeleteTombstoneAndGC(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", BestEffort)
+	tb.UpsertIfNewer([]byte("k"), []byte("v"), 5)
+	tb.DeleteIfNewer([]byte("k"), 8)
+	r, ok, _ := tb.Get([]byte("k"))
+	if !ok || !r.Tombstone {
+		t.Fatalf("expected tombstone, got %+v ok=%v", r, ok)
+	}
+	// A stale recreate below the tombstone ts is discarded.
+	tb.UpsertIfNewer([]byte("k"), []byte("old"), 7)
+	r, _, _ = tb.Get([]byte("k"))
+	if !r.Tombstone {
+		t.Error("stale recreate overwrote tombstone")
+	}
+	// A newer recreate replaces the tombstone.
+	tb.UpsertIfNewer([]byte("k"), []byte("new"), 9)
+	r, _, _ = tb.Get([]byte("k"))
+	if r.Tombstone || string(r.Value) != "new" {
+		t.Errorf("recreate failed: %+v", r)
+	}
+	tb.DeleteIfNewer([]byte("k"), 12)
+	if n := tb.GCTombstones(12); n != 0 {
+		t.Errorf("GC removed tombstone at the boundary: %d", n)
+	}
+	if n := tb.GCTombstones(13); n != 1 {
+		t.Errorf("GC removed %d tombstones, want 1", n)
+	}
+	if _, ok, _ := tb.Get([]byte("k")); ok {
+		t.Error("tombstone still present after GC")
+	}
+}
+
+func TestVersionedTableLatestAtOrBelow(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", Versioned)
+	tb.UpsertIfNewer([]byte("k"), []byte("v1"), 10)
+	tb.UpsertIfNewer([]byte("k"), []byte("v3"), 30)
+	tb.UpsertIfNewer([]byte("k"), []byte("v2"), 20) // out of order arrival
+	cases := []struct {
+		ts   uint64
+		want string
+		ok   bool
+	}{
+		{5, "", false},
+		{10, "v1", true},
+		{15, "v1", true},
+		{20, "v2", true},
+		{29, "v2", true},
+		{30, "v3", true},
+		{99, "v3", true},
+	}
+	for _, c := range cases {
+		r, ok := tb.LatestAtOrBelow([]byte("k"), c.ts)
+		if ok != c.ok || (ok && string(r.Value) != c.want) {
+			t.Errorf("LatestAtOrBelow(%d) = %q,%v; want %q,%v", c.ts, r.Value, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestVersionedTombstoneVisibility(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", Versioned)
+	tb.UpsertIfNewer([]byte("k"), []byte("v1"), 10)
+	tb.DeleteIfNewer([]byte("k"), 20)
+	if r, ok := tb.LatestAtOrBelow([]byte("k"), 15); !ok || r.Tombstone {
+		t.Error("pre-delete snapshot should see the value")
+	}
+	if r, ok := tb.LatestAtOrBelow([]byte("k"), 25); !ok || !r.Tombstone {
+		t.Error("post-delete snapshot should see the tombstone")
+	}
+}
+
+func TestScanSortedAndSnapshotScan(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", Versioned)
+	for i := 0; i < 10; i++ {
+		tb.UpsertIfNewer([]byte(fmt.Sprintf("k%02d", 9-i)), []byte("a"), 10)
+	}
+	tb.UpsertIfNewer([]byte("k05"), []byte("b"), 50)
+	var keys []string
+	tb.Scan(func(r Row) bool {
+		keys = append(keys, string(r.Key))
+		return true
+	})
+	if len(keys) != 10 || keys[0] != "k00" || keys[9] != "k09" {
+		t.Errorf("scan keys = %v", keys)
+	}
+	// Snapshot at ts 10 sees the old value of k05.
+	var atTen string
+	tb.ScanAtOrBelow(10, func(r Row) bool {
+		if string(r.Key) == "k05" {
+			atTen = string(r.Value)
+		}
+		return true
+	})
+	if atTen != "a" {
+		t.Errorf("snapshot scan value = %q, want a", atTen)
+	}
+}
+
+func TestWatermark(t *testing.T) {
+	s := New()
+	if _, ok := s.Watermark("tR"); ok {
+		t.Error("unexpected watermark")
+	}
+	s.PutWatermark("tR", 100)
+	s.PutWatermark("tR", 50) // watermarks only advance
+	ts, ok := s.Watermark("tR")
+	if !ok || ts != 100 {
+		t.Errorf("watermark = %d,%v, want 100", ts, ok)
+	}
+}
+
+func TestUnavailableInjection(t *testing.T) {
+	s := New()
+	tb := s.CreateTable("v", BestEffort)
+	s.SetUnavailable(true)
+	if err := tb.UpsertIfNewer([]byte("k"), []byte("v"), 1); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	s.SetUnavailable(false)
+	if err := tb.UpsertIfNewer([]byte("k"), []byte("v"), 1); err != nil {
+		t.Errorf("err after recovery = %v", err)
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	s := New()
+	s.CreateTable("b", BestEffort)
+	s.CreateTable("a", Versioned)
+	if names := s.TableNames(); len(names) != 2 || names[0] != "a" {
+		t.Errorf("names = %v", names)
+	}
+	if _, err := s.Table("missing"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("err = %v, want ErrNoTable", err)
+	}
+	s.DropTable("a")
+	if _, err := s.Table("a"); err == nil {
+		t.Error("dropped table still present")
+	}
+}

@@ -1,0 +1,365 @@
+// Package query implements A1QL and its distributed execution engine
+// (paper §3.4): queries are JSON documents whose nested structure describes
+// a traversal; the backend that receives a query becomes its coordinator,
+// picks a snapshot timestamp, and drives per-hop execution by shipping
+// batched operators (predicate evaluation, edge enumeration) to the
+// machines hosting the vertices, falling back to one-sided reads for small
+// batches. Results are deduplicated, repartitioned per hop, and paged back
+// to clients with continuation tokens.
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"a1/internal/bond"
+)
+
+// Reserved A1QL keys.
+const (
+	keyID      = "id"
+	keyType    = "_type"
+	keyOutEdge = "_out_edge"
+	keyInEdge  = "_in_edge"
+	keyVertex  = "_vertex"
+	keySelect  = "_select"
+	keyMatch   = "_match"
+	keyHints   = "_hints"
+)
+
+// Op is a predicate comparison operator.
+type Op int
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpGt
+	OpGe
+	OpLt
+	OpLe
+	OpPrefix // strings only; an A1QL extension
+)
+
+var opNames = map[string]Op{
+	"_ne": OpNe, "_gt": OpGt, "_ge": OpGe, "_lt": OpLt, "_le": OpLe, "_prefix": OpPrefix,
+}
+
+// FieldPath addresses an attribute inside a vertex or edge value:
+// "origin", "name[0]" (list index), "str_str_map[character]" (map key).
+type FieldPath struct {
+	Field    string
+	MapKey   string
+	ListIdx  int
+	IsMap    bool
+	IsList   bool
+	Raw      string
+	Wildcard bool // "*": the whole value
+}
+
+// parseFieldPath parses a select/predicate path.
+func parseFieldPath(s string) (FieldPath, error) {
+	fp := FieldPath{Raw: s, ListIdx: -1}
+	if s == "*" {
+		fp.Wildcard = true
+		return fp, nil
+	}
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		fp.Field = s
+		return fp, nil
+	}
+	if !strings.HasSuffix(s, "]") || open == 0 {
+		return fp, fmt.Errorf("a1ql: bad field path %q", s)
+	}
+	fp.Field = s[:open]
+	inner := s[open+1 : len(s)-1]
+	if idx, err := strconv.Atoi(inner); err == nil {
+		fp.IsList = true
+		fp.ListIdx = idx
+	} else {
+		fp.IsMap = true
+		fp.MapKey = inner
+	}
+	return fp, nil
+}
+
+// Predicate compares an attribute against a constant.
+type Predicate struct {
+	Path  FieldPath
+	Op    Op
+	Value bond.Value
+}
+
+// EdgePattern describes one traversal step.
+type EdgePattern struct {
+	Type   string // required edge type name
+	Out    bool   // direction
+	Preds  []Predicate
+	Vertex *VertexPattern
+}
+
+// VertexPattern is one level of the traversal.
+type VertexPattern struct {
+	ID      string // primary key lookup rooting the level
+	Type    string // vertex type constraint (and index choice)
+	Preds   []Predicate
+	Edge    *EdgePattern   // the single chained traversal step
+	Matches []*EdgePattern // _match: existence subpatterns (star queries)
+	Selects []FieldPath    // _select projections
+	Count   bool           // _select contains "_count(*)"
+}
+
+// Hints carries optional execution hints (paper: A1 has no true optimizer;
+// user hints shape the physical plan).
+type Hints struct {
+	NoShipping bool // force coordinator-side RDMA reads (ablation)
+	PageSize   int
+}
+
+// Query is a parsed A1QL document.
+type Query struct {
+	Root  *VertexPattern
+	Hints Hints
+}
+
+// Parse parses an A1QL JSON document.
+func Parse(doc []byte) (*Query, error) {
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.UseNumber()
+	var raw map[string]interface{}
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("a1ql: %w", err)
+	}
+	q := &Query{}
+	if h, ok := raw[keyHints]; ok {
+		hm, ok := h.(map[string]interface{})
+		if !ok {
+			return nil, errors.New("a1ql: _hints must be an object")
+		}
+		if v, ok := hm["no_shipping"].(bool); ok {
+			q.Hints.NoShipping = v
+		}
+		if v, ok := hm["page_size"].(json.Number); ok {
+			n, _ := v.Int64()
+			q.Hints.PageSize = int(n)
+		}
+		delete(raw, keyHints)
+	}
+	root, err := parseVertexPattern(raw, 0)
+	if err != nil {
+		return nil, err
+	}
+	q.Root = root
+	return q, nil
+}
+
+const maxDepth = 16
+
+func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, error) {
+	if depth > maxDepth {
+		return nil, errors.New("a1ql: traversal too deep")
+	}
+	vp := &VertexPattern{}
+	for k, v := range raw {
+		switch k {
+		case keyID:
+			s, ok := v.(string)
+			if !ok {
+				return nil, errors.New("a1ql: id must be a string")
+			}
+			vp.ID = s
+		case keyType:
+			s, ok := v.(string)
+			if !ok {
+				return nil, errors.New("a1ql: _type must be a string")
+			}
+			vp.Type = s
+		case keyOutEdge, keyInEdge:
+			if vp.Edge != nil {
+				return nil, errors.New("a1ql: a level may traverse a single edge pattern")
+			}
+			em, ok := v.(map[string]interface{})
+			if !ok {
+				return nil, fmt.Errorf("a1ql: %s must be an object", k)
+			}
+			ep, err := parseEdgePattern(em, k == keyOutEdge, depth)
+			if err != nil {
+				return nil, err
+			}
+			vp.Edge = ep
+		case keySelect:
+			list, ok := v.([]interface{})
+			if !ok {
+				return nil, errors.New("a1ql: _select must be a list")
+			}
+			for _, item := range list {
+				s, ok := item.(string)
+				if !ok {
+					return nil, errors.New("a1ql: _select entries must be strings")
+				}
+				if s == "_count(*)" {
+					vp.Count = true
+					continue
+				}
+				fp, err := parseFieldPath(s)
+				if err != nil {
+					return nil, err
+				}
+				vp.Selects = append(vp.Selects, fp)
+			}
+		case keyMatch:
+			list, ok := v.([]interface{})
+			if !ok {
+				return nil, errors.New("a1ql: _match must be a list")
+			}
+			for _, item := range list {
+				mm, ok := item.(map[string]interface{})
+				if !ok {
+					return nil, errors.New("a1ql: _match entries must be objects")
+				}
+				ep, err := parseMatchEntry(mm, depth)
+				if err != nil {
+					return nil, err
+				}
+				vp.Matches = append(vp.Matches, ep)
+			}
+		default:
+			preds, err := parsePredicate(k, v)
+			if err != nil {
+				return nil, err
+			}
+			vp.Preds = append(vp.Preds, preds...)
+		}
+	}
+	return vp, nil
+}
+
+func parseMatchEntry(raw map[string]interface{}, depth int) (*EdgePattern, error) {
+	if len(raw) != 1 {
+		return nil, errors.New("a1ql: _match entry must contain exactly one edge pattern")
+	}
+	for k, v := range raw {
+		if k != keyOutEdge && k != keyInEdge {
+			return nil, fmt.Errorf("a1ql: _match entry key %q must be _out_edge or _in_edge", k)
+		}
+		em, ok := v.(map[string]interface{})
+		if !ok {
+			return nil, fmt.Errorf("a1ql: %s must be an object", k)
+		}
+		return parseEdgePattern(em, k == keyOutEdge, depth)
+	}
+	return nil, errors.New("a1ql: empty _match entry")
+}
+
+func parseEdgePattern(raw map[string]interface{}, out bool, depth int) (*EdgePattern, error) {
+	ep := &EdgePattern{Out: out}
+	for k, v := range raw {
+		switch k {
+		case keyType:
+			s, ok := v.(string)
+			if !ok {
+				return nil, errors.New("a1ql: edge _type must be a string")
+			}
+			ep.Type = s
+		case keyVertex:
+			vm, ok := v.(map[string]interface{})
+			if !ok {
+				return nil, errors.New("a1ql: _vertex must be an object")
+			}
+			vp, err := parseVertexPattern(vm, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			ep.Vertex = vp
+		default:
+			preds, err := parsePredicate(k, v)
+			if err != nil {
+				return nil, err
+			}
+			ep.Preds = append(ep.Preds, preds...)
+		}
+	}
+	if ep.Type == "" {
+		return nil, errors.New("a1ql: edge pattern requires _type")
+	}
+	return ep, nil
+}
+
+// parsePredicate turns `"field": constant` or `"field": {"_gt": constant}`
+// into predicates.
+func parsePredicate(key string, v interface{}) ([]Predicate, error) {
+	fp, err := parseFieldPath(key)
+	if err != nil {
+		return nil, err
+	}
+	if obj, ok := v.(map[string]interface{}); ok {
+		var preds []Predicate
+		for opName, constant := range obj {
+			op, ok := opNames[opName]
+			if !ok {
+				return nil, fmt.Errorf("a1ql: unknown operator %q", opName)
+			}
+			val, err := jsonToBond(constant)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, Predicate{Path: fp, Op: op, Value: val})
+		}
+		return preds, nil
+	}
+	val, err := jsonToBond(v)
+	if err != nil {
+		return nil, err
+	}
+	return []Predicate{{Path: fp, Op: OpEq, Value: val}}, nil
+}
+
+// jsonToBond converts a JSON constant to a Bond value.
+func jsonToBond(v interface{}) (bond.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return bond.Null, nil
+	case bool:
+		return bond.Bool(x), nil
+	case string:
+		return bond.String(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return bond.Int64(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return bond.Null, err
+		}
+		return bond.Double(f), nil
+	case []interface{}:
+		elems := make([]bond.Value, 0, len(x))
+		for _, e := range x {
+			ev, err := jsonToBond(e)
+			if err != nil {
+				return bond.Null, err
+			}
+			elems = append(elems, ev)
+		}
+		return bond.List(elems...), nil
+	default:
+		return bond.Null, fmt.Errorf("a1ql: unsupported constant %T", v)
+	}
+}
+
+// Depth returns the number of traversal levels (hops + 1).
+func (q *Query) Depth() int {
+	d := 0
+	for vp := q.Root; vp != nil; {
+		d++
+		if vp.Edge == nil {
+			break
+		}
+		vp = vp.Edge.Vertex
+	}
+	return d
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"a1/internal/fabric"
+)
+
+// Continuation tokens (paper §3.4): when a result set exceeds one page the
+// coordinator returns a token encoding its own identity and caches the
+// remainder in memory for a limited time (typically 60 seconds). Frontends
+// decode the coordinator from the token and route fetches to it; if the
+// cache expired or the coordinator crashed, the client restarts the query.
+
+type tokenPayload struct {
+	M  int32  `json:"m"`  // coordinator machine
+	ID uint64 `json:"id"` // cache entry
+}
+
+func encodeToken(m fabric.MachineID, id uint64) string {
+	b, _ := json.Marshal(tokenPayload{M: int32(m), ID: id})
+	return base64.URLEncoding.EncodeToString(b)
+}
+
+// DecodeToken extracts the coordinator machine a token belongs to, so a
+// frontend can route the fetch.
+func DecodeToken(token string) (fabric.MachineID, uint64, error) {
+	raw, err := base64.URLEncoding.DecodeString(token)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	var p tokenPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	return fabric.MachineID(p.M), p.ID, nil
+}
+
+type cachedResult struct {
+	rows    []Row
+	expires time.Duration
+}
+
+type resultCache struct {
+	mu      sync.Mutex
+	nextID  uint64
+	entries map[uint64]*cachedResult
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: make(map[uint64]*cachedResult)}
+}
+
+func (rc *resultCache) put(c *fabric.Ctx, ttl time.Duration, rows []Row) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.nextID++
+	id := rc.nextID
+	rc.entries[id] = &cachedResult{rows: rows, expires: c.Now() + ttl}
+	return id
+}
+
+// Fetch returns the next page for a continuation token. It must execute on
+// the coordinator that issued the token (frontends guarantee this via
+// DecodeToken routing).
+func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
+	m, id, err := DecodeToken(token)
+	if err != nil {
+		return nil, err
+	}
+	if m != c.M {
+		return nil, fmt.Errorf("%w: token belongs to %v, fetched on %v", ErrBadToken, m, c.M)
+	}
+	rc := e.caches[c.M]
+	rc.mu.Lock()
+	entry, ok := rc.entries[id]
+	if ok && c.Now() >= entry.expires {
+		delete(rc.entries, id)
+		ok = false
+	}
+	if !ok {
+		rc.mu.Unlock()
+		return nil, fmt.Errorf("%w: expired; restart the query", ErrBadToken)
+	}
+	var page []Row
+	if len(entry.rows) > e.cfg.PageSize {
+		page = entry.rows[:e.cfg.PageSize]
+		entry.rows = entry.rows[e.cfg.PageSize:]
+	} else {
+		page = entry.rows
+		delete(rc.entries, id)
+		id = 0
+	}
+	rc.mu.Unlock()
+	res := &Result{Rows: page}
+	if id != 0 {
+		res.Continuation = encodeToken(c.M, id)
+	}
+	return res, nil
+}
+
+// ExpireResults drops timed-out continuation state on machine m (called by
+// a background sweeper; also exercised directly in tests).
+func (e *Engine) ExpireResults(c *fabric.Ctx) int {
+	rc := e.caches[c.M]
+	now := c.Now()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for id, entry := range rc.entries {
+		if now >= entry.expires {
+			delete(rc.entries, id)
+			n++
+		}
+	}
+	return n
+}
+
+// DropResultsOn simulates a coordinator crash wiping its continuation
+// cache (clients must restart their queries).
+func (e *Engine) DropResultsOn(m fabric.MachineID) {
+	rc := e.caches[m]
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.entries = make(map[uint64]*cachedResult)
+}

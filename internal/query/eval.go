@@ -1,0 +1,148 @@
+package query
+
+import (
+	"strings"
+
+	"a1/internal/bond"
+)
+
+// Predicate evaluation against Bond values.
+
+// resolvePath extracts the value a field path addresses. The schema maps
+// field names to ids; a nil schema resolves nothing.
+func resolvePath(v bond.Value, fp FieldPath, schema *bond.Schema) (bond.Value, bool) {
+	if fp.Wildcard {
+		return v, true
+	}
+	if schema == nil {
+		return bond.Null, false
+	}
+	f, ok := schema.FieldByName(fp.Field)
+	if !ok {
+		return bond.Null, false
+	}
+	fv, ok := v.Field(f.ID)
+	if !ok {
+		return bond.Null, false
+	}
+	switch {
+	case fp.IsMap:
+		return fv.MapGet(bond.String(fp.MapKey))
+	case fp.IsList:
+		e := fv.Index(fp.ListIdx)
+		return e, !e.IsNull()
+	default:
+		return fv, true
+	}
+}
+
+// compareValues orders two scalars across compatible kinds: all numeric
+// kinds compare numerically (A1QL constants arrive as int64/double
+// regardless of the stored width), strings and blobs lexically.
+func compareValues(a, b bond.Value) (int, bool) {
+	if isNumeric(a.Kind()) && isNumeric(b.Kind()) {
+		af, bf := asFloat(a), asFloat(b)
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.Kind() == bond.KindBool && b.Kind() == bond.KindBool {
+		switch {
+		case a.AsBool() == b.AsBool():
+			return 0, true
+		case !a.AsBool():
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	as, aok := stringish(a)
+	bs, bok := stringish(b)
+	if aok && bok {
+		return strings.Compare(as, bs), true
+	}
+	return 0, false
+}
+
+func isNumeric(k bond.Kind) bool {
+	switch k {
+	case bond.KindInt32, bond.KindInt64, bond.KindUInt64, bond.KindFloat, bond.KindDouble, bond.KindDate:
+		return true
+	}
+	return false
+}
+
+func asFloat(v bond.Value) float64 {
+	switch v.Kind() {
+	case bond.KindFloat, bond.KindDouble:
+		return v.AsFloat()
+	case bond.KindUInt64:
+		return float64(v.AsUint())
+	default:
+		return float64(v.AsInt())
+	}
+}
+
+func stringish(v bond.Value) (string, bool) {
+	switch v.Kind() {
+	case bond.KindString:
+		return v.AsString(), true
+	case bond.KindBlob:
+		return string(v.AsBlob()), true
+	}
+	return "", false
+}
+
+// evalPredicate applies one predicate to a value under a schema.
+func evalPredicate(v bond.Value, p Predicate, schema *bond.Schema) bool {
+	fv, ok := resolvePath(v, p.Path, schema)
+	if !ok {
+		return false
+	}
+	if p.Op == OpPrefix {
+		fs, fok := stringish(fv)
+		ps, pok := stringish(p.Value)
+		return fok && pok && strings.HasPrefix(fs, ps)
+	}
+	cmp, ok := compareValues(fv, p.Value)
+	if !ok {
+		// Incomparable kinds: only (in)equality by deep-equal is meaningful.
+		switch p.Op {
+		case OpEq:
+			return fv.Equal(p.Value)
+		case OpNe:
+			return !fv.Equal(p.Value)
+		}
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	}
+	return false
+}
+
+// evalPredicates applies all predicates (conjunction).
+func evalPredicates(v bond.Value, preds []Predicate, schema *bond.Schema) bool {
+	for _, p := range preds {
+		if !evalPredicate(v, p, schema) {
+			return false
+		}
+	}
+	return true
+}

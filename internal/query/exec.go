@@ -1,0 +1,678 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+// Errors surfaced by the engine.
+var (
+	// ErrWorkingSet fast-fails queries whose intermediate state outgrows
+	// the coordinator's budget (paper §3.4: disk spill is infeasible in a
+	// latency-optimized system, so large queries fail fast).
+	ErrWorkingSet = errors.New("a1ql: query working set too large")
+	// ErrNoStart means the root pattern matched no vertex.
+	ErrNoStart = errors.New("a1ql: no starting vertex")
+	// ErrBadToken rejects malformed or expired continuation tokens.
+	ErrBadToken = errors.New("a1ql: bad or expired continuation token")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// ShipThreshold is the minimum number of vertex operators bound for
+	// one machine before they are batched into an RPC; smaller groups are
+	// evaluated from the coordinator with one-sided reads (paper §3.4).
+	ShipThreshold int
+	// MaxWorkingSet bounds the query's accumulated intermediate vertices.
+	MaxWorkingSet int
+	// PageSize caps the rows returned per response; the rest is cached at
+	// the coordinator behind a continuation token.
+	PageSize int
+	// ResultTTL is how long continuation state is retained (paper: 60s).
+	ResultTTL time.Duration
+
+	// CPU cost model for the simulated fabric (no-ops in Direct mode).
+	CostParse      time.Duration // coordinator: parse + plan
+	CostVertexRead time.Duration // worker: materialize + deserialize vertex
+	CostPredEval   time.Duration // worker: one predicate evaluation
+	CostEdgeEnum   time.Duration // worker: per half-edge visited
+	CostMerge      time.Duration // coordinator: per next-hop pointer merged
+
+	// RDMASampler, when set, receives the (remote read count, total RDMA
+	// read time) of every worker batch — the measurement behind the
+	// paper's Figure 11.
+	RDMASampler func(reads int, total time.Duration)
+}
+
+// DefaultConfig returns production-shaped parameters.
+func DefaultConfig() Config {
+	return Config{
+		ShipThreshold:  4,
+		MaxWorkingSet:  1 << 20,
+		PageSize:       1000,
+		ResultTTL:      60 * time.Second,
+		CostParse:      10 * time.Microsecond,
+		CostVertexRead: 1500 * time.Nanosecond,
+		CostPredEval:   300 * time.Nanosecond,
+		CostEdgeEnum:   150 * time.Nanosecond,
+		CostMerge:      80 * time.Nanosecond,
+	}
+}
+
+// Row is one projected result.
+type Row struct {
+	Vertex core.VertexPtr
+	Values map[string]bond.Value
+}
+
+// Stats describes one query's execution, matching the accounting the paper
+// reports in §6 (objects read, locality, RDMA time).
+type Stats struct {
+	Hops         int
+	VerticesRead int64
+	EdgesVisited int64
+	ObjectsRead  int64
+	RemoteReads  int64
+	LocalFrac    float64
+	RDMATime     time.Duration
+	RPCs         int64
+	Elapsed      time.Duration
+}
+
+// Result is a query response page.
+type Result struct {
+	Rows         []Row
+	Count        int64
+	HasCount     bool
+	Continuation string
+	Stats        Stats
+}
+
+// Engine executes A1QL queries against a graph store.
+type Engine struct {
+	store  *core.Store
+	cfg    Config
+	caches []*resultCache // per machine (coordinator-cached continuations)
+}
+
+// NewEngine creates an engine over a store.
+func NewEngine(store *core.Store, cfg Config) *Engine {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = DefaultConfig().PageSize
+	}
+	if cfg.MaxWorkingSet == 0 {
+		cfg.MaxWorkingSet = DefaultConfig().MaxWorkingSet
+	}
+	if cfg.ResultTTL == 0 {
+		cfg.ResultTTL = DefaultConfig().ResultTTL
+	}
+	e := &Engine{store: store, cfg: cfg}
+	e.caches = make([]*resultCache, store.Farm().Fabric().Machines())
+	for i := range e.caches {
+		e.caches[i] = newResultCache()
+	}
+	return e
+}
+
+// Store returns the engine's graph store.
+func (e *Engine) Store() *core.Store { return e.store }
+
+// Execute parses and runs an A1QL document. The calling context's machine
+// is the query coordinator.
+func (e *Engine) Execute(c *fabric.Ctx, g *core.Graph, doc []byte) (*Result, error) {
+	q, err := Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(c, g, q)
+}
+
+// Run executes a parsed query.
+func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
+	var ops fabric.OpStats
+	qc := c.WithStats(&ops)
+	start := qc.Now()
+	qc.Work(e.cfg.CostParse)
+
+	// The coordinator picks the snapshot timestamp all workers will read
+	// at; versions at that snapshot are pinned until the query completes.
+	f := e.store.Farm()
+	ts := f.Clock().Current()
+	unpin := f.PinSnapshot(ts)
+	defer unpin()
+
+	st := &execState{
+		engine:  e,
+		graph:   g,
+		ts:      ts,
+		hints:   q.Hints,
+		targets: map[*EdgePattern]core.VertexPtr{},
+	}
+	ctx := f.CreateReadTransactionAt(qc, ts)
+	if err := st.resolveMatchTargets(ctx, q.Root); err != nil {
+		return nil, err
+	}
+	frontier, err := st.resolveStart(ctx, q.Root)
+	if err != nil {
+		return nil, err
+	}
+
+	level := q.Root
+	working := len(frontier)
+	var rows []Row
+	for {
+		terminal := level.Edge == nil
+		out, err := st.execLevel(qc, frontier, level, terminal)
+		if err != nil {
+			return nil, err
+		}
+		st.stats.Hops++
+		if terminal {
+			rows = dedupRows(out.rows)
+			break
+		}
+		// Aggregate replies: dedup and repartition by pointer (§3.4).
+		qc.Work(time.Duration(len(out.next)) * e.cfg.CostMerge)
+		frontier = dedupPtrs(out.next)
+		working += len(frontier)
+		if working > e.cfg.MaxWorkingSet {
+			return nil, fmt.Errorf("%w: %d vertices", ErrWorkingSet, working)
+		}
+		if len(frontier) == 0 {
+			rows = nil
+			break
+		}
+		level = level.Edge.Vertex
+	}
+
+	res := &Result{}
+	terminalPattern := terminalOf(q.Root)
+	if terminalPattern.Count {
+		res.Count = int64(len(rows))
+		res.HasCount = true
+	}
+	if len(terminalPattern.Selects) > 0 || !terminalPattern.Count {
+		pageSize := e.cfg.PageSize
+		if q.Hints.PageSize > 0 {
+			pageSize = q.Hints.PageSize
+		}
+		if len(rows) > pageSize {
+			token := e.caches[qc.M].put(qc, e.cfg.ResultTTL, rows[pageSize:])
+			res.Continuation = encodeToken(qc.M, token)
+			rows = rows[:pageSize]
+		}
+		res.Rows = rows
+	}
+
+	res.Stats = st.snapshotStats(&ops)
+	res.Stats.Elapsed = qc.Now() - start
+	return res, nil
+}
+
+func terminalOf(vp *VertexPattern) *VertexPattern {
+	for vp.Edge != nil {
+		vp = vp.Edge.Vertex
+	}
+	return vp
+}
+
+// execState carries one query's execution through its hops.
+type execState struct {
+	engine  *Engine
+	graph   *core.Graph
+	ts      uint64
+	hints   Hints
+	targets map[*EdgePattern]core.VertexPtr // pre-resolved _match ids
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (st *execState) snapshotStats(ops *fabric.OpStats) Stats {
+	s := st.stats
+	s.ObjectsRead = ops.TotalReads()
+	s.RemoteReads = ops.RemoteReads.Load()
+	s.LocalFrac = ops.LocalFraction()
+	s.RDMATime = time.Duration(ops.RDMAReadTime.Load())
+	s.RPCs = ops.RPCs.Load()
+	return s
+}
+
+// resolveMatchTargets pre-resolves `_match` subpatterns that terminate in a
+// primary-key lookup, so workers can test star-pattern membership by
+// pointer comparison instead of remote reads.
+func (st *execState) resolveMatchTargets(tx *farm.Tx, vp *VertexPattern) error {
+	if vp == nil {
+		return nil
+	}
+	for _, m := range vp.Matches {
+		if m.Vertex != nil && m.Vertex.ID != "" && m.Vertex.Edge == nil &&
+			len(m.Vertex.Preds) == 0 && len(m.Vertex.Matches) == 0 {
+			ptr, ok, err := st.lookupByID(tx, m.Vertex)
+			if err != nil {
+				return err
+			}
+			if ok {
+				st.targets[m] = ptr
+			} else {
+				st.targets[m] = core.VertexPtr{} // unresolvable: never matches
+			}
+		} else if m.Vertex != nil {
+			if err := st.resolveMatchTargets(tx, m.Vertex); err != nil {
+				return err
+			}
+		}
+	}
+	if vp.Edge != nil {
+		return st.resolveMatchTargets(tx, vp.Edge.Vertex)
+	}
+	return nil
+}
+
+// lookupByID resolves a pattern's `id` against the primary index of the
+// pattern's type, or of every type when unspecified (the knowledge graph
+// uses a single `entity` type, §5).
+func (st *execState) lookupByID(tx *farm.Tx, vp *VertexPattern) (core.VertexPtr, bool, error) {
+	pk := bond.String(vp.ID)
+	if vp.Type != "" {
+		return st.graph.LookupVertex(tx, vp.Type, pk)
+	}
+	names, err := st.graph.VertexTypeNames(tx.Ctx())
+	if err != nil {
+		return core.VertexPtr{}, false, err
+	}
+	for _, name := range names {
+		ptr, ok, err := st.graph.LookupVertex(tx, name, pk)
+		if err != nil {
+			return core.VertexPtr{}, false, err
+		}
+		if ok {
+			return ptr, true, nil
+		}
+	}
+	return core.VertexPtr{}, false, nil
+}
+
+// resolveStart produces the root frontier: a primary-index lookup for `id`,
+// a secondary-index scan for an indexed equality predicate, or a full type
+// scan otherwise.
+func (st *execState) resolveStart(tx *farm.Tx, root *VertexPattern) ([]core.VertexPtr, error) {
+	if root.ID != "" {
+		ptr, ok, err := st.lookupByID(tx, root)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: id %q", ErrNoStart, root.ID)
+		}
+		return []core.VertexPtr{ptr}, nil
+	}
+	if root.Type == "" {
+		return nil, errors.New("a1ql: root pattern requires id or _type")
+	}
+	// Try a secondary index for an equality predicate.
+	for _, p := range root.Preds {
+		if p.Op != OpEq || p.Path.IsMap || p.Path.IsList || p.Path.Wildcard {
+			continue
+		}
+		var hits []core.VertexPtr
+		err := st.graph.IndexScan(tx, root.Type, p.Path.Field, p.Value, func(vp core.VertexPtr) bool {
+			hits = append(hits, vp)
+			return true
+		})
+		if err == nil {
+			return hits, nil
+		}
+		if !errors.Is(err, core.ErrNotFound) {
+			return nil, err
+		}
+	}
+	// Full primary-index scan of the type.
+	var hits []core.VertexPtr
+	err := st.graph.ScanVerticesByType(tx, root.Type, func(_ bond.Value, vp core.VertexPtr) bool {
+		hits = append(hits, vp)
+		return true
+	})
+	return hits, err
+}
+
+// levelOutput is the merged product of one hop.
+type levelOutput struct {
+	next []core.VertexPtr
+	rows []Row
+}
+
+// execLevel partitions the frontier by primary host and executes the
+// level's operators near the data: machines with enough vertices receive a
+// batched RPC (query shipping); stragglers are evaluated from the
+// coordinator over one-sided reads (§3.4, Figure 9).
+func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level *VertexPattern, terminal bool) (*levelOutput, error) {
+	f := st.engine.store.Farm()
+	groups := make(map[fabric.MachineID][]core.VertexPtr)
+	var order []fabric.MachineID
+	for _, vp := range frontier {
+		m, err := f.PrimaryOf(qc, vp.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := groups[m]; !ok {
+			order = append(order, m)
+		}
+		groups[m] = append(groups[m], vp)
+	}
+	merged := &levelOutput{}
+	var mu sync.Mutex
+	var firstErr error
+	qc.Parallel(len(order), func(i int, cc *fabric.Ctx) {
+		m := order[i]
+		batch := groups[m]
+		ship := !st.hints.NoShipping && m != cc.M && len(batch) >= st.engine.cfg.ShipThreshold
+		var out *levelOutput
+		var err error
+		if ship {
+			reqBytes := len(batch)*12 + 128
+			err = cc.RPC(m, reqBytes, func(sc *fabric.Ctx) (int, error) {
+				out, err = st.execBatch(sc, batch, level, terminal)
+				if err != nil {
+					return 0, err
+				}
+				return len(out.next)*12 + len(out.rows)*64, nil
+			})
+		} else {
+			out, err = st.execBatch(cc, batch, level, terminal)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		merged.next = append(merged.next, out.next...)
+		merged.rows = append(merged.rows, out.rows...)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return merged, nil
+}
+
+// execBatch runs one level's operators for a batch of vertices on whatever
+// machine the context lives on, inside a read-only transaction at the
+// query's snapshot timestamp.
+func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *VertexPattern, terminal bool) (*levelOutput, error) {
+	e := st.engine
+	g := st.graph
+	if e.cfg.RDMASampler != nil {
+		// Measure this batch's one-sided reads separately, then fold them
+		// back into the query's stats.
+		local := &fabric.OpStats{}
+		parent := sc.Stats
+		sc = sc.WithStats(local)
+		defer func() {
+			e.cfg.RDMASampler(int(local.RemoteReads.Load()), time.Duration(local.RDMAReadTime.Load()))
+			if parent != nil {
+				parent.Merge(local)
+			}
+		}()
+	}
+	tx := e.store.Farm().CreateReadTransactionAt(sc, st.ts)
+	out := &levelOutput{}
+	needData := terminal || len(level.Preds) > 0 || len(level.Selects) > 0 || level.Type != ""
+	var schema *bond.Schema
+	for _, vp := range batch {
+		var vtx *core.Vertex
+		if needData {
+			v, err := g.ReadVertex(tx, vp)
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			vtx = v
+			sc.Work(e.cfg.CostVertexRead)
+			st.addVertexRead()
+			if level.Type != "" && v.TypeName != level.Type {
+				continue
+			}
+			s, err := g.VertexTypeSchema(sc, v.TypeName)
+			if err != nil {
+				return nil, err
+			}
+			schema = s
+			if len(level.Preds) > 0 {
+				sc.Work(time.Duration(len(level.Preds)) * e.cfg.CostPredEval)
+				if !evalPredicates(v.Data, level.Preds, schema) {
+					continue
+				}
+			}
+		} else {
+			st.addVertexRead()
+		}
+		if len(level.Matches) > 0 {
+			ok, err := st.evalMatches(sc, tx, vp, level.Matches)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if terminal {
+			row := Row{Vertex: vp}
+			if len(level.Selects) > 0 && vtx != nil {
+				row.Values = make(map[string]bond.Value, len(level.Selects))
+				for _, sel := range level.Selects {
+					if v, ok := resolvePath(vtx.Data, sel, schema); ok {
+						row.Values[sel.Raw] = v
+					}
+				}
+			}
+			out.rows = append(out.rows, row)
+			continue
+		}
+		next, err := st.traverseEdge(sc, tx, vp, level.Edge)
+		if err != nil {
+			return nil, err
+		}
+		out.next = append(out.next, next...)
+	}
+	return out, nil
+}
+
+// traverseEdge enumerates a vertex's half-edges matching the pattern and
+// returns the far endpoints. Edge-data predicates are applied in place.
+func (st *execState) traverseEdge(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, ep *EdgePattern) ([]core.VertexPtr, error) {
+	e := st.engine
+	g := st.graph
+	dir := core.DirOut
+	if !ep.Out {
+		dir = core.DirIn
+	}
+	var edgeSchema *bond.Schema
+	if len(ep.Preds) > 0 {
+		s, err := g.EdgeTypeSchema(sc, ep.Type)
+		if err != nil {
+			return nil, err
+		}
+		edgeSchema = s
+	}
+	var next []core.VertexPtr
+	var innerErr error
+	err := g.EnumerateEdges(tx, vp, dir, ep.Type, func(he core.HalfEdge) bool {
+		st.addEdgeVisited()
+		sc.Work(e.cfg.CostEdgeEnum)
+		if len(ep.Preds) > 0 {
+			if he.Data.IsNil() {
+				return true
+			}
+			buf, err := tx.Read(he.Data)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			val, err := bond.Unmarshal(buf.Data())
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			sc.Work(time.Duration(len(ep.Preds)) * e.cfg.CostPredEval)
+			if !evalPredicates(val, ep.Preds, edgeSchema) {
+				return true
+			}
+		}
+		next = append(next, he.Other)
+		return true
+	})
+	if err == nil {
+		err = innerErr
+	}
+	return next, err
+}
+
+// evalMatches tests every _match subpattern (conjunction) against a
+// candidate vertex — the star patterns of Q3 (§6).
+func (st *execState) evalMatches(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, matches []*EdgePattern) (bool, error) {
+	for _, m := range matches {
+		ok, err := st.evalMatchEdge(sc, tx, vp, m)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (st *execState) evalMatchEdge(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, ep *EdgePattern) (bool, error) {
+	g := st.graph
+	dir := core.DirOut
+	if !ep.Out {
+		dir = core.DirIn
+	}
+	target, hasTarget := st.targets[ep]
+	matched := false
+	var innerErr error
+	err := g.EnumerateEdges(tx, vp, dir, ep.Type, func(he core.HalfEdge) bool {
+		st.addEdgeVisited()
+		sc.Work(st.engine.cfg.CostEdgeEnum)
+		if hasTarget {
+			if !target.IsNil() && he.Other.Addr == target.Addr {
+				matched = true
+				return false
+			}
+			return true
+		}
+		ok, err := st.matchVertex(sc, tx, he.Other, ep.Vertex)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if ok {
+			matched = true
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = innerErr
+	}
+	return matched, err
+}
+
+// matchVertex recursively tests an existence subpattern against a vertex.
+func (st *execState) matchVertex(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, pat *VertexPattern) (bool, error) {
+	if pat == nil {
+		return true, nil
+	}
+	g := st.graph
+	if pat.ID != "" || len(pat.Preds) > 0 || pat.Type != "" {
+		v, err := g.ReadVertex(tx, vp)
+		if errors.Is(err, core.ErrNotFound) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		sc.Work(st.engine.cfg.CostVertexRead)
+		st.addVertexRead()
+		if pat.Type != "" && v.TypeName != pat.Type {
+			return false, nil
+		}
+		schema, err := g.VertexTypeSchema(sc, v.TypeName)
+		if err != nil {
+			return false, err
+		}
+		if pat.ID != "" {
+			typeName, pk, err := g.VertexPK(tx, vp)
+			if err != nil {
+				return false, err
+			}
+			_ = typeName
+			if pk.AsString() != pat.ID {
+				return false, nil
+			}
+		}
+		if !evalPredicates(v.Data, pat.Preds, schema) {
+			return false, nil
+		}
+	}
+	if len(pat.Matches) > 0 {
+		ok, err := st.evalMatches(sc, tx, vp, pat.Matches)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	if pat.Edge != nil {
+		return st.evalMatchEdge(sc, tx, vp, pat.Edge)
+	}
+	return true, nil
+}
+
+func (st *execState) addVertexRead() {
+	st.mu.Lock()
+	st.stats.VerticesRead++
+	st.mu.Unlock()
+}
+
+func (st *execState) addEdgeVisited() {
+	st.mu.Lock()
+	st.stats.EdgesVisited++
+	st.mu.Unlock()
+}
+
+func dedupPtrs(ptrs []core.VertexPtr) []core.VertexPtr {
+	seen := make(map[farm.Addr]bool, len(ptrs))
+	out := ptrs[:0]
+	for _, p := range ptrs {
+		if seen[p.Addr] {
+			continue
+		}
+		seen[p.Addr] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func dedupRows(rows []Row) []Row {
+	seen := make(map[farm.Addr]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		if seen[r.Vertex.Addr] {
+			continue
+		}
+		seen[r.Vertex.Addr] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	env := NewEnv(1)
+	var at []time.Duration
+	env.Run(func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(5 * time.Microsecond)
+		at = append(at, p.Now())
+		p.Sleep(10 * time.Millisecond)
+		at = append(at, p.Now())
+	})
+	want := []time.Duration{0, 5 * time.Microsecond, 10*time.Millisecond + 5*time.Microsecond}
+	for i, w := range want {
+		if at[i] != w {
+			t.Errorf("step %d: now = %v, want %v", i, at[i], w)
+		}
+	}
+}
+
+func TestChildrenRunConcurrentlyInVirtualTime(t *testing.T) {
+	env := NewEnv(1)
+	var end time.Duration
+	env.Run(func(p *Proc) {
+		// 10 children each sleeping 1ms should overlap, not serialize.
+		Parallel(p, 10, func(i int, cp *Proc) {
+			cp.Sleep(time.Millisecond)
+		})
+		end = p.Now()
+	})
+	if end != time.Millisecond {
+		t.Errorf("parallel children finished at %v, want 1ms", end)
+	}
+}
+
+func TestEventOrderingIsDeterministic(t *testing.T) {
+	run := func() []int {
+		env := NewEnv(42)
+		var order []int
+		env.Run(func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				i := i
+				d := time.Duration(env.Rand().Intn(100)) * time.Microsecond
+				p.Go("child", func(cp *Proc) {
+					cp.Sleep(d)
+					order = append(order, i)
+				})
+			}
+		})
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths = %d, %d, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestJoinWait(t *testing.T) {
+	env := NewEnv(1)
+	env.Run(func(p *Proc) {
+		done := false
+		j := p.Go("slow", func(cp *Proc) {
+			cp.Sleep(3 * time.Millisecond)
+			done = true
+		})
+		j.Wait(p)
+		if !done {
+			t.Error("Wait returned before child finished")
+		}
+		if p.Now() != 3*time.Millisecond {
+			t.Errorf("now = %v, want 3ms", p.Now())
+		}
+		// Waiting on an already-finished join must not block.
+		j.Wait(p)
+	})
+}
+
+func TestResourceQueueing(t *testing.T) {
+	env := NewEnv(1)
+	var finish []time.Duration
+	env.Run(func(p *Proc) {
+		r := NewResource(env, 2)
+		// 4 jobs of 10ms on a capacity-2 resource: two waves.
+		Parallel(p, 4, func(i int, cp *Proc) {
+			r.Use(cp, 10*time.Millisecond, nil)
+			finish = append(finish, cp.Now())
+		})
+	})
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	if len(finish) != len(want) {
+		t.Fatalf("finished %d jobs, want %d", len(finish), len(want))
+	}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Errorf("job %d finished at %v, want %v", i, finish[i], w)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	env.Run(func(p *Proc) {
+		r := NewResource(env, 1)
+		for i := 0; i < 5; i++ {
+			i := i
+			p.Go("job", func(cp *Proc) {
+				r.Acquire(cp)
+				order = append(order, i)
+				cp.Sleep(time.Millisecond)
+				r.Release(cp)
+			})
+		}
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	env := NewEnv(1)
+	var util float64
+	env.Run(func(p *Proc) {
+		r := NewResource(env, 2)
+		j := p.Go("job", func(cp *Proc) { r.Use(cp, 10*time.Millisecond, nil) })
+		j.Wait(p)
+		util = r.Utilization()
+	})
+	if util < 0.49 || util > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5 (1 of 2 units busy)", util)
+	}
+}
+
+func TestQueueBlocksUntilPut(t *testing.T) {
+	env := NewEnv(1)
+	var got interface{}
+	var when time.Duration
+	env.Run(func(p *Proc) {
+		q := NewQueue(env)
+		p.Go("consumer", func(cp *Proc) {
+			got, _ = q.Get(cp)
+			when = cp.Now()
+		})
+		p.Sleep(7 * time.Millisecond)
+		q.Put("hello")
+	})
+	if got != "hello" {
+		t.Errorf("got %v, want hello", got)
+	}
+	if when != 7*time.Millisecond {
+		t.Errorf("consumed at %v, want 7ms", when)
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	env := NewEnv(1)
+	okAfterClose := true
+	env.Run(func(p *Proc) {
+		q := NewQueue(env)
+		p.Go("consumer", func(cp *Proc) {
+			_, okAfterClose = q.Get(cp)
+		})
+		p.Sleep(time.Millisecond)
+		q.Close()
+	})
+	if okAfterClose {
+		t.Error("Get on closed empty queue returned ok=true")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	env := NewEnv(1)
+	called := false
+	env.Stuck = func(e *Env) { called = true }
+	env.Run(func(p *Proc) {
+		q := NewQueue(env)
+		q.Get(p) // nobody will ever Put
+	})
+	if !called {
+		t.Error("deadlock hook not called")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if m := h.Mean(); m != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", m)
+	}
+	if p := h.Percentile(99); p != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", p)
+	}
+	if p := h.Percentile(50); p != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", p)
+	}
+	if mx := h.Max(); mx != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", mx)
+	}
+}
+
+func TestYieldInterleaving(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	env.Run(func(p *Proc) {
+		p.Go("a", func(cp *Proc) {
+			order = append(order, "a1")
+			cp.Yield()
+			order = append(order, "a2")
+		})
+		p.Go("b", func(cp *Proc) {
+			order = append(order, "b1")
+			cp.Yield()
+			order = append(order, "b2")
+		})
+	})
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

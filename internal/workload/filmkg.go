@@ -1,0 +1,421 @@
+// Package workload generates deterministic synthetic datasets shaped like
+// the paper's evaluation workloads (§5, §6): a film/entertainment knowledge
+// graph with semi-structured `entity` vertices (every entity type shares
+// one vertex type whose attributes live in a string map — the paper's
+// production choice), strongly-typed data-less edges, heavy degree skew,
+// and the specific fan-outs behind queries Q1–Q4 (Spielberg's 49 films and
+// 1639 collaborating actors, the Batman character's performances, Tom
+// Hanks's co-star network). It also provides the uniform random graph used
+// for the Figure 14 scalability experiment.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+// EntitySchema is the knowledge graph's single vertex schema: a unique id,
+// a name list, a popularity score, and the semi-structured attribute map
+// (paper §5).
+var EntitySchema = bond.MustSchema("entity",
+	bond.FReq(0, "id", bond.TString),
+	bond.F(1, "name", bond.TListOf(bond.TString)),
+	bond.F(2, "popularity", bond.TDouble),
+	bond.F(3, "str_str_map", bond.TMapOf(bond.TString, bond.TString)),
+)
+
+// EdgeTypes are the knowledge graph's strongly-typed, data-less edges
+// (paper Table 2).
+var EdgeTypes = []string{
+	"director.film",
+	"film.director",
+	"film.actor",
+	"actor.film",
+	"film.genre",
+	"character.film",
+	"film.performance",
+	"performance.actor",
+}
+
+// Params sizes the generated knowledge graph.
+type Params struct {
+	Seed int64
+
+	// Spielberg subgraph (Q1): one director with SpielbergFilms films,
+	// each casting ActorsPerFilm actors drawn from a pool of ActorPool, so
+	// the distinct second-hop count lands near the paper's 1639.
+	SpielbergFilms int
+	ActorsPerFilm  int
+	ActorPool      int
+
+	// Batman subgraph (Q2): films connected to the character, each with
+	// PerformancesPerFilm performance vertices of which exactly one plays
+	// "Batman".
+	BatmanFilms         int
+	PerformancesPerFilm int
+
+	// Hanks subgraph (Q3/Q4): Tom Hanks stars in HanksFilms films; every
+	// actor additionally appears in FilmsPerActor background films so the
+	// 3-hop Q4 explosion materializes. BackgroundCast sizes those films'
+	// casts (small casts → more distinct films in Q4's final hop; 0 =
+	// ActorsPerFilm).
+	HanksFilms     int
+	FilmsPerActor  int
+	BackgroundCast int
+
+	// Genres for the Q3 star pattern.
+	Genres []string
+
+	// PayloadPadding pads the attribute map so the average vertex payload
+	// approaches the paper's 220 bytes.
+	PayloadPadding int
+
+	// BatchSize groups creations per transaction during loading.
+	BatchSize int
+}
+
+// TestParams returns a small graph for unit tests (hundreds of vertices).
+func TestParams() Params {
+	return Params{
+		Seed:                7,
+		SpielbergFilms:      8,
+		ActorsPerFilm:       6,
+		ActorPool:           60,
+		BatmanFilms:         3,
+		PerformancesPerFilm: 5,
+		HanksFilms:          6,
+		FilmsPerActor:       2,
+		Genres:              []string{"action", "war", "comedy", "drama"},
+		PayloadPadding:      64,
+		BatchSize:           64,
+	}
+}
+
+// PaperParams returns fan-outs calibrated to the paper's reported numbers:
+// Q1 touches 49 films and ~1639 distinct actors over ~1785 edges.
+func PaperParams() Params {
+	return Params{
+		Seed:                7,
+		SpielbergFilms:      49,
+		ActorsPerFilm:       36,
+		ActorPool:           11000,
+		BatmanFilms:         9,
+		PerformancesPerFilm: 20,
+		HanksFilms:          55,
+		FilmsPerActor:       12,
+		BackgroundCast:      4,
+		Genres:              []string{"action", "war", "comedy", "drama", "scifi"},
+		PayloadPadding:      96,
+		BatchSize:           128,
+	}
+}
+
+// Stats reports what was generated.
+type Stats struct {
+	Vertices int
+	Edges    int
+}
+
+// FilmKG loads the knowledge graph into an A1 graph.
+type FilmKG struct {
+	P     Params
+	Stats Stats
+
+	rng *rand.Rand
+
+	// Well-known entity ids used by the paper's queries.
+	SpielbergID string
+	HanksID     string
+	BatmanID    string
+}
+
+// NewFilmKG prepares a generator.
+func NewFilmKG(p Params) *FilmKG {
+	return &FilmKG{
+		P:           p,
+		rng:         rand.New(rand.NewSource(p.Seed)),
+		SpielbergID: "steven.spielberg",
+		HanksID:     "tom.hanks",
+		BatmanID:    "character.batman",
+	}
+}
+
+// entity builds an entity payload of roughly the paper's 220-byte average.
+func (w *FilmKG) entity(id, kind string, names ...string) bond.Value {
+	attrs := map[string]string{
+		"kind": kind,
+		"pad":  strings.Repeat("x", w.P.PayloadPadding),
+	}
+	nameVals := make([]bond.Value, 0, len(names))
+	for _, n := range names {
+		nameVals = append(nameVals, bond.String(n))
+	}
+	return bond.Struct(
+		bond.FV(0, bond.String(id)),
+		bond.FV(1, bond.List(nameVals...)),
+		bond.FV(2, bond.Double(w.rng.Float64()*100)),
+		bond.FV(3, bond.StringMap(attrs)),
+	)
+}
+
+// performanceEntity carries the character attribute Q2 filters on.
+func (w *FilmKG) performanceEntity(id, character string) bond.Value {
+	attrs := map[string]string{
+		"kind":      "performance",
+		"character": character,
+		"pad":       strings.Repeat("x", w.P.PayloadPadding/2),
+	}
+	return bond.Struct(
+		bond.FV(0, bond.String(id)),
+		bond.FV(1, bond.List(bond.String(id))),
+		bond.FV(2, bond.Double(w.rng.Float64()*10)),
+		bond.FV(3, bond.StringMap(attrs)),
+	)
+}
+
+// loader batches vertex/edge creation into transactions.
+type loader struct {
+	c     *fabric.Ctx
+	g     *core.Graph
+	batch int
+
+	tx    *farm.Tx
+	inTx  int
+	verts map[string]core.VertexPtr
+	stats *Stats
+}
+
+func (l *loader) begin() {
+	if l.tx == nil {
+		l.tx = l.g.Store().Farm().CreateTransaction(l.c)
+	}
+}
+
+func (l *loader) flush() error {
+	if l.tx == nil {
+		return nil
+	}
+	err := l.tx.Commit()
+	l.tx = nil
+	l.inTx = 0
+	return err
+}
+
+func (l *loader) maybeFlush() error {
+	l.inTx++
+	if l.inTx >= l.batch {
+		return l.flush()
+	}
+	return nil
+}
+
+func (l *loader) vertex(id string, val bond.Value) (core.VertexPtr, error) {
+	if vp, ok := l.verts[id]; ok {
+		return vp, nil
+	}
+	l.begin()
+	vp, err := l.g.CreateVertex(l.tx, "entity", val)
+	if err != nil {
+		return core.VertexPtr{}, fmt.Errorf("vertex %q: %w", id, err)
+	}
+	l.verts[id] = vp
+	l.stats.Vertices++
+	return vp, l.maybeFlush()
+}
+
+func (l *loader) edge(src core.VertexPtr, etype string, dst core.VertexPtr) error {
+	l.begin()
+	if err := l.g.CreateEdge(l.tx, src, etype, dst, bond.Null); err != nil {
+		return fmt.Errorf("edge %s: %w", etype, err)
+	}
+	l.stats.Edges++
+	return l.maybeFlush()
+}
+
+// Load creates the schema and data. The graph must be freshly created.
+func (w *FilmKG) Load(c *fabric.Ctx, g *core.Graph) error {
+	if err := g.CreateVertexType(c, "entity", EntitySchema, "id"); err != nil {
+		return err
+	}
+	for _, et := range EdgeTypes {
+		if err := g.CreateEdgeType(c, et, nil); err != nil {
+			return err
+		}
+	}
+	l := &loader{c: c, g: g, batch: w.P.BatchSize, verts: map[string]core.VertexPtr{}, stats: &w.Stats}
+	if l.batch <= 0 {
+		l.batch = 64
+	}
+
+	// Genres.
+	genrePtr := map[string]core.VertexPtr{}
+	for _, genre := range w.P.Genres {
+		vp, err := l.vertex(genre, w.entity(genre, "genre", genre))
+		if err != nil {
+			return err
+		}
+		genrePtr[genre] = vp
+	}
+
+	// Actor pool.
+	actorIDs := make([]string, w.P.ActorPool)
+	actorPtrs := make([]core.VertexPtr, w.P.ActorPool)
+	for i := range actorIDs {
+		id := fmt.Sprintf("actor.%05d", i)
+		actorIDs[i] = id
+		vp, err := l.vertex(id, w.entity(id, "actor", "Actor "+id))
+		if err != nil {
+			return err
+		}
+		actorPtrs[i] = vp
+	}
+	hanks, err := l.vertex(w.HanksID, w.entity(w.HanksID, "actor", "Tom Hanks", "Thomas Hanks"))
+	if err != nil {
+		return err
+	}
+
+	spielberg, err := l.vertex(w.SpielbergID, w.entity(w.SpielbergID, "director", "Steven Spielberg"))
+	if err != nil {
+		return err
+	}
+
+	addFilm := func(filmID string, director core.VertexPtr, cast []core.VertexPtr, genre string) (core.VertexPtr, error) {
+		film, err := l.vertex(filmID, w.entity(filmID, "film", "Film "+filmID))
+		if err != nil {
+			return core.VertexPtr{}, err
+		}
+		if !director.IsNil() {
+			if err := l.edge(director, "director.film", film); err != nil {
+				return core.VertexPtr{}, err
+			}
+			if err := l.edge(film, "film.director", director); err != nil {
+				return core.VertexPtr{}, err
+			}
+		}
+		if genre != "" {
+			if err := l.edge(film, "film.genre", genrePtr[genre]); err != nil {
+				return core.VertexPtr{}, err
+			}
+		}
+		for _, a := range cast {
+			if err := l.edge(film, "film.actor", a); err != nil {
+				return core.VertexPtr{}, err
+			}
+			if err := l.edge(a, "actor.film", film); err != nil {
+				return core.VertexPtr{}, err
+			}
+		}
+		return film, nil
+	}
+
+	// sampleCast draws k distinct actors from the pool.
+	sampleCast := func(k int) []core.VertexPtr {
+		seen := map[int]bool{}
+		cast := make([]core.VertexPtr, 0, k)
+		for len(cast) < k && len(seen) < w.P.ActorPool {
+			i := w.rng.Intn(w.P.ActorPool)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			cast = append(cast, actorPtrs[i])
+		}
+		return cast
+	}
+
+	// Spielberg's films (Q1). A couple of them star Tom Hanks and carry
+	// the war/action genres so the Q3 star pattern has real answers.
+	for i := 0; i < w.P.SpielbergFilms; i++ {
+		filmID := fmt.Sprintf("film.spielberg.%03d", i)
+		cast := sampleCast(w.P.ActorsPerFilm)
+		genre := w.P.Genres[w.rng.Intn(len(w.P.Genres))]
+		if i < 2 {
+			genre = "war" // "Saving Private Ryan"-shaped
+		}
+		film, err := addFilm(filmID, spielberg, cast, genre)
+		if err != nil {
+			return err
+		}
+		if i < 3 {
+			if err := l.edge(film, "film.actor", hanks); err != nil {
+				return err
+			}
+			if err := l.edge(hanks, "actor.film", film); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Batman subgraph (Q2): character → films → performances → actors.
+	batman, err := l.vertex(w.BatmanID, w.entity(w.BatmanID, "character", "Batman"))
+	if err != nil {
+		return err
+	}
+	characters := []string{"Batman", "Joker", "Alfred", "Robin", "Gordon", "Catwoman", "Bane", "Riddler"}
+	for i := 0; i < w.P.BatmanFilms; i++ {
+		filmID := fmt.Sprintf("film.batman.%03d", i)
+		film, err := addFilm(filmID, core.VertexPtr{}, nil, "action")
+		if err != nil {
+			return err
+		}
+		if err := l.edge(batman, "character.film", film); err != nil {
+			return err
+		}
+		for p := 0; p < w.P.PerformancesPerFilm; p++ {
+			perfID := fmt.Sprintf("perf.batman.%03d.%02d", i, p)
+			character := characters[p%len(characters)]
+			if p == 0 {
+				character = "Batman"
+			}
+			perf, err := l.vertex(perfID, w.performanceEntity(perfID, character))
+			if err != nil {
+				return err
+			}
+			if err := l.edge(film, "film.performance", perf); err != nil {
+				return err
+			}
+			if err := l.edge(perf, "performance.actor", actorPtrs[w.rng.Intn(w.P.ActorPool)]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Hanks films (Q3/Q4) and background filmography so co-stars have
+	// films of their own.
+	for i := 0; i < w.P.HanksFilms; i++ {
+		filmID := fmt.Sprintf("film.hanks.%03d", i)
+		cast := append(sampleCast(w.P.ActorsPerFilm-1), hanks)
+		if _, err := addFilm(filmID, core.VertexPtr{}, cast, w.P.Genres[w.rng.Intn(len(w.P.Genres))]); err != nil {
+			return err
+		}
+	}
+	bgCast := w.P.BackgroundCast
+	if bgCast <= 0 {
+		bgCast = w.P.ActorsPerFilm
+	}
+	for f := 0; f < w.P.FilmsPerActor; f++ {
+		for chunk := 0; chunk < w.P.ActorPool; chunk += bgCast {
+			filmID := fmt.Sprintf("film.background.%02d.%05d", f, chunk)
+			end := chunk + bgCast
+			if end > w.P.ActorPool {
+				end = w.P.ActorPool
+			}
+			// Shifted slices give each actor FilmsPerActor distinct films
+			// with varying co-stars.
+			cast := make([]core.VertexPtr, 0, end-chunk)
+			for i := chunk; i < end; i++ {
+				cast = append(cast, actorPtrs[(i+f*13)%w.P.ActorPool])
+			}
+			if _, err := addFilm(filmID, core.VertexPtr{}, cast, ""); err != nil {
+				return err
+			}
+		}
+	}
+	return l.flush()
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+func loadKG(t *testing.T, p Params) (*FilmKG, *core.Graph, *fabric.Ctx, *farm.Farm) {
+	t.Helper()
+	fab := fabric.New(fabric.DefaultConfig(8, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "bing")
+	s.CreateGraph(c, "bing", "kg")
+	g, err := s.OpenGraph(c, "bing", "kg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := NewFilmKG(p)
+	if err := kg.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	return kg, g, c, f
+}
+
+func TestFilmKGShape(t *testing.T) {
+	p := TestParams()
+	kg, g, c, f := loadKG(t, p)
+	if kg.Stats.Vertices == 0 || kg.Stats.Edges == 0 {
+		t.Fatalf("empty KG: %+v", kg.Stats)
+	}
+	tx := f.CreateReadTransaction(c)
+	// The paper's anchor entities exist.
+	for _, id := range []string{kg.SpielbergID, kg.HanksID, kg.BatmanID, "war"} {
+		if _, ok, err := g.LookupVertex(tx, "entity", bond.String(id)); err != nil || !ok {
+			t.Errorf("anchor %q missing (%v)", id, err)
+		}
+	}
+	// Spielberg's out-degree matches the parameterization.
+	sp, _, _ := g.LookupVertex(tx, "entity", bond.String(kg.SpielbergID))
+	films := 0
+	g.EnumerateEdges(tx, sp, core.DirOut, "director.film", func(core.HalfEdge) bool {
+		films++
+		return true
+	})
+	if films != p.SpielbergFilms {
+		t.Errorf("spielberg films = %d, want %d", films, p.SpielbergFilms)
+	}
+	// Every film.actor edge has a mirror actor.film edge (generator
+	// creates both directions).
+	film0, _, _ := g.LookupVertex(tx, "entity", bond.String("film.spielberg.000"))
+	bad := 0
+	g.EnumerateEdges(tx, film0, core.DirOut, "film.actor", func(he core.HalfEdge) bool {
+		if _, ok, _ := g.GetEdge(tx, he.Other, "actor.film", film0); !ok {
+			bad++
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Errorf("%d film.actor edges lack the actor.film mirror", bad)
+	}
+}
+
+func TestFilmKGDeterministic(t *testing.T) {
+	kg1, _, _, _ := loadKG(t, TestParams())
+	kg2, _, _, _ := loadKG(t, TestParams())
+	if kg1.Stats != kg2.Stats {
+		t.Errorf("same seed produced different graphs: %+v vs %+v", kg1.Stats, kg2.Stats)
+	}
+}
+
+func TestUniformGraphShape(t *testing.T) {
+	fab := fabric.New(fabric.DefaultConfig(6, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "t")
+	s.CreateGraph(c, "t", "u")
+	g, err := s.OpenGraph(c, "t", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUniformGraph(100, 300, 5)
+	if err := u.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if u.Stats.Vertices != 100 || u.Stats.Edges != 300 {
+		t.Errorf("stats = %+v", u.Stats)
+	}
+	n, err := g.CountVertices(c, "entity")
+	if err != nil || n != 100 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+	doc := u.TwoHopQuery(u.VertexID(0))
+	if len(doc) == 0 {
+		t.Error("empty query doc")
+	}
+}

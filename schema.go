@@ -1,0 +1,77 @@
+package a1
+
+import "a1/internal/bond"
+
+// Schema construction helpers re-exported from the Bond layer, so
+// applications can declare types without importing internal packages:
+//
+//	actor := a1.NewSchema("Actor",
+//	    a1.Req(0, "name", a1.TString),
+//	    a1.Opt(1, "origin", a1.TString),
+//	    a1.Opt(2, "birth_date", a1.TDate),
+//	)
+
+// Scalar field types.
+var (
+	TBool   = bond.TBool
+	TInt32  = bond.TInt32
+	TInt64  = bond.TInt64
+	TUInt64 = bond.TUInt64
+	TFloat  = bond.TFloat
+	TDouble = bond.TDouble
+	TString = bond.TString
+	TBlob   = bond.TBlob
+	TDate   = bond.TDate
+)
+
+// TListOf returns a list type.
+func TListOf(elem bond.Type) bond.Type { return bond.TListOf(elem) }
+
+// TMapOf returns a map type.
+func TMapOf(key, val bond.Type) bond.Type { return bond.TMapOf(key, val) }
+
+// NewSchema builds a schema, panicking on duplicate ids/names (static
+// declarations).
+func NewSchema(name string, fields ...bond.Field) *Schema {
+	return bond.MustSchema(name, fields...)
+}
+
+// Opt declares an optional field.
+func Opt(id uint16, name string, t bond.Type) bond.Field { return bond.F(id, name, t) }
+
+// Req declares a required field.
+func Req(id uint16, name string, t bond.Type) bond.Field { return bond.FReq(id, name, t) }
+
+// Value constructors.
+var Null = bond.Null
+
+// Str returns a string value.
+func Str(s string) Value { return bond.String(s) }
+
+// I64 returns an int64 value.
+func I64(i int64) Value { return bond.Int64(i) }
+
+// I32 returns an int32 value.
+func I32(i int32) Value { return bond.Int32(i) }
+
+// F64 returns a double value.
+func F64(f float64) Value { return bond.Double(f) }
+
+// B returns a bool value.
+func B(b bool) Value { return bond.Bool(b) }
+
+// DateDays returns a date value (days since the Unix epoch).
+func DateDays(d int64) Value { return bond.Date(d) }
+
+// ListOf returns a list value.
+func ListOf(elems ...Value) Value { return bond.List(elems...) }
+
+// StrMap returns a map<string,string> value — the payload shape of
+// semi-structured knowledge-graph entities (§5).
+func StrMap(m map[string]string) Value { return bond.StringMap(m) }
+
+// Record builds a struct value from (field id, value) pairs.
+func Record(fields ...bond.FieldValue) Value { return bond.Struct(fields...) }
+
+// FV pairs a field id with a value inside Record.
+func FV(id uint16, v Value) bond.FieldValue { return bond.FV(id, v) }
