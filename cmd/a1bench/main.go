@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"baseline", "A1 vs two-tier cache stack (the 3.6x claim)", single(bench.BaselineCompare)},
 	{"restart", "fast restart vs disaster recovery downtime", single(bench.FastRestart)},
 	{"ablations", "edge-spill / shipping / placement design ablations", bench.Ablations},
+	{"pushdown", "result-shaping pushdown: _limit / aggregate scalar shipping wins", single(bench.Pushdown)},
 }
 
 func main() {

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"a1"
@@ -135,6 +136,19 @@ func runQuery(db *a1.DB, g *a1.Graph, doc string) {
 		if res.HasCount {
 			fmt.Printf("count: %d\n", res.Count)
 		}
+		if len(res.Aggregates) > 0 {
+			keys := make([]string, 0, len(res.Aggregates))
+			for k := range res.Aggregates {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if k == "_count(*)" && res.HasCount {
+					continue // already printed
+				}
+				fmt.Printf("  %s = %v\n", k, res.Aggregates[k])
+			}
+		}
 		for i, row := range res.Rows {
 			if i >= 20 {
 				fmt.Printf("... %d more rows", len(res.Rows)-20)
@@ -176,9 +190,13 @@ func command(db *a1.DB, g *a1.Graph, cmd string) bool {
 		fmt.Println(bench.Q2)
 		fmt.Println("-- Q3: war movies with Hanks and Spielberg")
 		fmt.Println(bench.Q3)
+		fmt.Println("-- top-K: Spielberg's five most popular films (_orderby + _limit)")
+		fmt.Println(bench.QTopFilms)
+		fmt.Println("-- aggregates: stats over Spielberg's filmography (_sum/_min/_max/_avg)")
+		fmt.Println(bench.QFilmStats)
 	case ":help":
 		fmt.Println(":stats     cluster + fabric counters")
-		fmt.Println(":examples  the paper's Table 2 queries to paste")
+		fmt.Println(":examples  the paper's Table 2 queries plus result-shaping examples")
 		fmt.Println(":quit      exit")
 	default:
 		fmt.Printf("unknown command %s (:help)\n", cmd)

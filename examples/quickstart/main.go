@@ -62,6 +62,17 @@ func main() {
 			if err != nil {
 				return err
 			}
+			perkinsPtr, err := g.CreateVertex(tx, "actor", a1.Record(
+				a1.FV(0, a1.Str("Elizabeth Perkins")),
+				a1.FV(1, a1.Str("usa")),
+			))
+			if err != nil {
+				return err
+			}
+			if err := g.CreateEdge(tx, bigPtr, "acted", perkinsPtr,
+				a1.Record(a1.FV(0, a1.Str("Susan Lawrence")))); err != nil {
+				return err
+			}
 			return g.CreateEdge(tx, bigPtr, "acted", hanksPtr,
 				a1.Record(a1.FV(0, a1.Str("Josh Baskin"))))
 		}))
@@ -90,6 +101,29 @@ func main() {
 		}
 		fmt.Printf("query stats: %d hops, %d objects read, %v\n",
 			res.Stats.Hops, res.Stats.ObjectsRead, res.Stats.Elapsed)
+
+		// Result shaping: order the cast by name, bound the result, and
+		// aggregate — the count is computed during batch execution without
+		// materializing rows.
+		res, err = db.Query(c, g, `{
+			"id": "Big",
+			"_out_edge": {"_type": "acted", "_vertex": {
+				"_select": ["name"], "_orderby": "name", "_limit": 10
+			}}
+		}`)
+		must(err)
+		for i, row := range res.Rows {
+			fmt.Printf("cast %d: %s\n", i+1, row.Values["name"])
+		}
+		res, err = db.Query(c, g, `{
+			"id": "Big",
+			"_out_edge": {"_type": "acted", "_vertex": {
+				"_select": ["_count(*)", "_min(name)"]
+			}}
+		}`)
+		must(err)
+		fmt.Printf("cast size: %d, first alphabetically: %s\n",
+			res.Count, res.Aggregates["_min(name)"])
 
 		// Secondary index scan (origin was declared as a secondary index).
 		count := 0

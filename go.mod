@@ -1,0 +1,3 @@
+module a1
+
+go 1.24

@@ -56,6 +56,24 @@ const (
             "_vertex" : { "_select" : ["_count(*)"] }}}}}}}`
 )
 
+// Result-shaping example queries (not from the paper's Table 2): top-K and
+// aggregate pushdown over the same knowledge graph.
+const (
+	// QTopFilms: Spielberg's five most popular films, newest-ordering
+	// cousin of Q1 — _orderby + _limit push top-K pruning to the workers.
+	QTopFilms = `{ "id" : "steven.spielberg",
+  "_out_edge" : { "_type" : "director.film",
+    "_vertex" : { "_select" : ["name[0]", "popularity"],
+      "_orderby" : "-popularity", "_limit" : 5 }}}`
+
+	// QFilmStats: terminal aggregates over Spielberg's filmography —
+	// workers ship scalar partials instead of rows.
+	QFilmStats = `{ "id" : "steven.spielberg",
+  "_out_edge" : { "_type" : "director.film",
+    "_vertex" : { "_select" : ["_count(*)", "_avg(popularity)",
+      "_max(popularity)", "_min(str_str_map[year])"] }}}`
+)
+
 // Scale selects experiment sizing.
 type Scale int
 

@@ -2,8 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
+
+	"a1"
 )
 
 // Harness self-tests at ScaleTest sizing: each figure must produce sane
@@ -194,6 +197,64 @@ func TestAblations(t *testing.T) {
 	if len(spill.Rows) == 2 && spill.Rows[0][1] <= spill.Rows[1][1] {
 		t.Errorf("spilled enumeration (%v objects) not costlier than inline (%v)",
 			spill.Rows[0][1], spill.Rows[1][1])
+	}
+}
+
+func TestPushdownMeasurement(t *testing.T) {
+	r, err := Pushdown(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	unbounded, limited, agg := r.Rows[0], r.Rows[1], r.Rows[2]
+	// _limit reads strictly fewer vertices than the unbounded twin.
+	if limited[3] >= unbounded[3] {
+		t.Errorf("_limit read %v vertices, unbounded twin %v", limited[3], unbounded[3])
+	}
+	// Aggregates ship scalars: no rows shipped, fewer reply bytes.
+	if agg[4] != 0 {
+		t.Errorf("aggregate query shipped %v rows", agg[4])
+	}
+	if unbounded[4] == 0 {
+		t.Error("unbounded query shipped no rows; shipping not engaged")
+	}
+	if agg[5] >= unbounded[5] {
+		t.Errorf("aggregate bytes shipped %v >= row bytes shipped %v", agg[5], unbounded[5])
+	}
+	// The aggregate count agrees with the unbounded row count.
+	if agg[2] != unbounded[1] {
+		t.Errorf("aggregate count %v != unbounded rows %v", agg[2], unbounded[1])
+	}
+	// The shaped example queries run end-to-end on the same cluster.
+	k, err := NewKGCluster(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.DB.Close()
+	var qerr error
+	k.DB.Run(func(c *a1.Ctx) {
+		top, err := k.DB.Query(c, k.G, QTopFilms)
+		if err != nil {
+			qerr = err
+			return
+		}
+		if len(top.Rows) != 5 {
+			qerr = fmt.Errorf("QTopFilms rows = %d, want 5", len(top.Rows))
+			return
+		}
+		stats, err := k.DB.Query(c, k.G, QFilmStats)
+		if err != nil {
+			qerr = err
+			return
+		}
+		if !stats.HasCount || stats.Count == 0 || len(stats.Aggregates) != 4 {
+			qerr = fmt.Errorf("QFilmStats count=%d aggs=%d", stats.Count, len(stats.Aggregates))
+		}
+	})
+	if qerr != nil {
+		t.Fatal(qerr)
 	}
 }
 

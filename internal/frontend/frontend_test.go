@@ -75,6 +75,64 @@ func TestContinuationRoutedToCoordinator(t *testing.T) {
 	}
 }
 
+func TestOrderedPagingThroughFrontend(t *testing.T) {
+	// Ordered pages must stay sorted across Fetch calls even though every
+	// fetch re-enters through the SLB and is routed back to the
+	// coordinator by the token.
+	tier, g, c := newTier(t)
+	res, err := tier.Query(c, g, []byte(`{"_hints": {"page_size": 4}, "_type": "entity",
+		"str_str_map[kind]": "actor", "_select": ["id", "popularity"], "_orderby": "-popularity"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pops []float64
+	pages := 0
+	for {
+		pages++
+		if res.Continuation != "" && len(res.Rows) != 4 {
+			t.Errorf("page %d has %d rows, want the hinted 4", pages, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			pops = append(pops, row.Values["popularity"].AsFloat())
+		}
+		if res.Continuation == "" {
+			break
+		}
+		res, err = tier.Fetch(c, res.Continuation)
+		if err != nil {
+			t.Fatalf("fetch page %d: %v", pages+1, err)
+		}
+	}
+	want := workload.TestParams().ActorPool + 1
+	if len(pops) != want {
+		t.Fatalf("paged %d rows, want %d", len(pops), want)
+	}
+	for i := 1; i < len(pops); i++ {
+		if pops[i] > pops[i-1] {
+			t.Errorf("order broken across pages at row %d", i)
+		}
+	}
+}
+
+func TestAggregatesThroughFrontend(t *testing.T) {
+	tier, g, c := newTier(t)
+	res, err := tier.Query(c, g, []byte(`{"_type": "entity", "str_str_map[kind]": "actor",
+		"_select": ["_count(*)", "_max(popularity)"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(workload.TestParams().ActorPool + 1)
+	if !res.HasCount || res.Count != want {
+		t.Errorf("count = %d (has=%v), want %d", res.Count, res.HasCount, want)
+	}
+	if res.Rows != nil {
+		t.Errorf("aggregate query returned %d rows", len(res.Rows))
+	}
+	if res.Aggregates["_max(popularity)"].AsFloat() <= 0 {
+		t.Errorf("max popularity = %v", res.Aggregates["_max(popularity)"])
+	}
+}
+
 func TestThrottling(t *testing.T) {
 	fab := fabric.New(fabric.DefaultConfig(4, fabric.Direct), nil)
 	f := farm.Open(fab, farm.Config{RegionSize: 8 << 20})

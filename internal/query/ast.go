@@ -29,6 +29,9 @@ const (
 	keySelect  = "_select"
 	keyMatch   = "_match"
 	keyHints   = "_hints"
+	keyLimit   = "_limit"
+	keySkip    = "_skip"
+	keyOrderBy = "_orderby"
 )
 
 // Op is a predicate comparison operator.
@@ -94,6 +97,35 @@ type Predicate struct {
 	Value bond.Value
 }
 
+// AggKind is a terminal aggregate function.
+type AggKind int
+
+const (
+	AggCount AggKind = iota // _count(*)
+	AggSum                  // _sum(field)
+	AggMin                  // _min(field)
+	AggMax                  // _max(field)
+	AggAvg                  // _avg(field)
+)
+
+var aggNames = map[string]AggKind{
+	"_count": AggCount, "_sum": AggSum, "_min": AggMin, "_max": AggMax, "_avg": AggAvg,
+}
+
+// Aggregate is one `_select` aggregate over the terminal result set. Raw is
+// the select entry verbatim and keys the aggregate's value in the Result.
+type Aggregate struct {
+	Kind AggKind
+	Path FieldPath // unused for AggCount
+	Raw  string
+}
+
+// OrderBy sorts the terminal result set by one attribute.
+type OrderBy struct {
+	Path FieldPath
+	Desc bool
+}
+
 // EdgePattern describes one traversal step.
 type EdgePattern struct {
 	Type   string // required edge type name
@@ -111,6 +143,18 @@ type VertexPattern struct {
 	Matches []*EdgePattern // _match: existence subpatterns (star queries)
 	Selects []FieldPath    // _select projections
 	Count   bool           // _select contains "_count(*)"
+
+	// Result shaping (terminal level only).
+	Aggs  []Aggregate // _select aggregates, _count(*) included
+	Limit int         // _limit: max rows returned (0 = unbounded)
+	Skip  int         // _skip: rows dropped before the first returned
+	Order *OrderBy    // _orderby: result ordering (nil = unordered)
+}
+
+// shaped reports whether the pattern carries result-shaping operators,
+// which are only meaningful on the terminal level.
+func (vp *VertexPattern) shaped() bool {
+	return len(vp.Aggs) > 0 || vp.Limit > 0 || vp.Skip > 0 || vp.Order != nil
 }
 
 // Hints carries optional execution hints (paper: A1 has no true optimizer;
@@ -154,7 +198,53 @@ func Parse(doc []byte) (*Query, error) {
 		return nil, err
 	}
 	q.Root = root
+	if err := validateShaping(root); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// validateShaping rejects result-shaping operators anywhere but the main
+// chain's terminal level: shaping an intermediate frontier or an existence
+// subpattern has no defined semantics. It also normalizes a chained edge
+// written without _vertex to an empty terminal pattern (return the
+// unconstrained endpoints) so execution never sees a nil level.
+func validateShaping(root *VertexPattern) error {
+	for vp := root; vp != nil; {
+		if vp.Edge != nil && vp.Edge.Vertex == nil {
+			vp.Edge.Vertex = &VertexPattern{}
+		}
+		terminal := vp.Edge == nil
+		if !terminal && vp.shaped() {
+			return errors.New("a1ql: _limit/_skip/_orderby/aggregates allowed on the terminal level only")
+		}
+		for _, m := range vp.Matches {
+			if err := rejectShaping(m); err != nil {
+				return err
+			}
+		}
+		if terminal {
+			return nil
+		}
+		vp = vp.Edge.Vertex
+	}
+	return nil
+}
+
+func rejectShaping(ep *EdgePattern) error {
+	if ep == nil || ep.Vertex == nil {
+		return nil
+	}
+	vp := ep.Vertex
+	if vp.shaped() {
+		return errors.New("a1ql: result shaping not allowed inside _match subpatterns")
+	}
+	for _, m := range vp.Matches {
+		if err := rejectShaping(m); err != nil {
+			return err
+		}
+	}
+	return rejectShaping(vp.Edge)
 }
 
 const maxDepth = 16
@@ -201,8 +291,15 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 				if !ok {
 					return nil, errors.New("a1ql: _select entries must be strings")
 				}
-				if s == "_count(*)" {
-					vp.Count = true
+				agg, isAgg, err := parseAggSelect(s)
+				if err != nil {
+					return nil, err
+				}
+				if isAgg {
+					vp.Aggs = append(vp.Aggs, agg)
+					if agg.Kind == AggCount {
+						vp.Count = true
+					}
 					continue
 				}
 				fp, err := parseFieldPath(s)
@@ -211,6 +308,30 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 				}
 				vp.Selects = append(vp.Selects, fp)
 			}
+		case keyLimit:
+			n, err := parseCount(k, v)
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, errors.New("a1ql: _limit must be >= 1")
+			}
+			vp.Limit = n
+		case keySkip:
+			n, err := parseCount(k, v)
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, errors.New("a1ql: _skip must be >= 0")
+			}
+			vp.Skip = n
+		case keyOrderBy:
+			ob, err := parseOrderBy(v)
+			if err != nil {
+				return nil, err
+			}
+			vp.Order = ob
 		case keyMatch:
 			list, ok := v.([]interface{})
 			if !ok {
@@ -287,6 +408,110 @@ func parseEdgePattern(raw map[string]interface{}, out bool, depth int) (*EdgePat
 		return nil, errors.New("a1ql: edge pattern requires _type")
 	}
 	return ep, nil
+}
+
+// maxShapeCount bounds _limit and _skip: large enough for any real page,
+// small enough that Limit+Skip (and 2x it) never overflows int.
+const maxShapeCount = 1 << 30
+
+// parseCount extracts a small non-negative integer (_limit/_skip).
+func parseCount(key string, v interface{}) (int, error) {
+	num, ok := v.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("a1ql: %s must be an integer", key)
+	}
+	n, err := num.Int64()
+	if err != nil {
+		return 0, fmt.Errorf("a1ql: %s must be an integer: %v", key, err)
+	}
+	if n > maxShapeCount {
+		return 0, fmt.Errorf("a1ql: %s must be <= %d", key, maxShapeCount)
+	}
+	return int(n), nil
+}
+
+// parseAggSelect recognizes `_select` aggregate entries: "_count(*)",
+// "_sum(field)", "_min(field)", "_max(field)", "_avg(field)". A leading
+// underscore with parentheses must be a known aggregate; anything else is a
+// plain field path.
+func parseAggSelect(s string) (Aggregate, bool, error) {
+	open := strings.IndexByte(s, '(')
+	if !strings.HasPrefix(s, "_") || open < 0 || !strings.HasSuffix(s, ")") {
+		return Aggregate{}, false, nil
+	}
+	kind, ok := aggNames[s[:open]]
+	if !ok {
+		return Aggregate{}, false, fmt.Errorf("a1ql: unknown aggregate %q", s[:open])
+	}
+	inner := s[open+1 : len(s)-1]
+	agg := Aggregate{Kind: kind, Raw: s}
+	if kind == AggCount {
+		if inner != "*" {
+			return Aggregate{}, false, errors.New("a1ql: _count takes (*)")
+		}
+		return agg, true, nil
+	}
+	fp, err := parseFieldPath(inner)
+	if err != nil {
+		return Aggregate{}, false, err
+	}
+	if fp.Wildcard {
+		return Aggregate{}, false, fmt.Errorf("a1ql: %s requires a field, not (*)", s[:open])
+	}
+	agg.Path = fp
+	return agg, true, nil
+}
+
+// parseOrderBy accepts `"_orderby": "field"`, `"_orderby": "-field"`
+// (descending), or `"_orderby": {"field": "...", "dir": "asc"|"desc"}`.
+func parseOrderBy(v interface{}) (*OrderBy, error) {
+	switch x := v.(type) {
+	case string:
+		ob := &OrderBy{}
+		if strings.HasPrefix(x, "-") {
+			ob.Desc = true
+			x = x[1:]
+		}
+		fp, err := parseFieldPath(x)
+		if err != nil {
+			return nil, err
+		}
+		if fp.Wildcard || fp.Field == "" {
+			return nil, errors.New("a1ql: _orderby requires a field")
+		}
+		ob.Path = fp
+		return ob, nil
+	case map[string]interface{}:
+		field, ok := x["field"].(string)
+		if !ok || field == "" {
+			return nil, errors.New("a1ql: _orderby object requires a \"field\" string")
+		}
+		fp, err := parseFieldPath(field)
+		if err != nil {
+			return nil, err
+		}
+		if fp.Wildcard {
+			return nil, errors.New("a1ql: _orderby requires a field")
+		}
+		ob := &OrderBy{Path: fp}
+		if dir, ok := x["dir"]; ok {
+			switch dir {
+			case "asc":
+			case "desc":
+				ob.Desc = true
+			default:
+				return nil, fmt.Errorf("a1ql: _orderby dir %v must be \"asc\" or \"desc\"", dir)
+			}
+		}
+		for k := range x {
+			if k != "field" && k != "dir" {
+				return nil, fmt.Errorf("a1ql: unknown _orderby key %q", k)
+			}
+		}
+		return ob, nil
+	default:
+		return nil, errors.New("a1ql: _orderby must be a string or an object")
+	}
 }
 
 // parsePredicate turns `"field": constant` or `"field": {"_gt": constant}`

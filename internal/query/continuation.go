@@ -17,25 +17,34 @@ import (
 // cache expired or the coordinator crashed, the client restarts the query.
 
 type tokenPayload struct {
-	M  int32  `json:"m"`  // coordinator machine
-	ID uint64 `json:"id"` // cache entry
+	M  int32  `json:"m"`            // coordinator machine
+	ID uint64 `json:"id"`           // cache entry
+	PS int    `json:"ps,omitempty"` // page size that shaped the first page
 }
 
-func encodeToken(m fabric.MachineID, id uint64) string {
-	b, _ := json.Marshal(tokenPayload{M: int32(m), ID: id})
+func encodeToken(m fabric.MachineID, id uint64, pageSize int) string {
+	b, _ := json.Marshal(tokenPayload{M: int32(m), ID: id, PS: pageSize})
 	return base64.URLEncoding.EncodeToString(b)
+}
+
+func decodeToken(token string) (tokenPayload, error) {
+	var p tokenPayload
+	raw, err := base64.URLEncoding.DecodeString(token)
+	if err != nil {
+		return p, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return p, fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	return p, nil
 }
 
 // DecodeToken extracts the coordinator machine a token belongs to, so a
 // frontend can route the fetch.
 func DecodeToken(token string) (fabric.MachineID, uint64, error) {
-	raw, err := base64.URLEncoding.DecodeString(token)
+	p, err := decodeToken(token)
 	if err != nil {
-		return 0, 0, fmt.Errorf("%w: %v", ErrBadToken, err)
-	}
-	var p tokenPayload
-	if err := json.Unmarshal(raw, &p); err != nil {
-		return 0, 0, fmt.Errorf("%w: %v", ErrBadToken, err)
+		return 0, 0, err
 	}
 	return fabric.MachineID(p.M), p.ID, nil
 }
@@ -66,14 +75,22 @@ func (rc *resultCache) put(c *fabric.Ctx, ttl time.Duration, rows []Row) uint64 
 
 // Fetch returns the next page for a continuation token. It must execute on
 // the coordinator that issued the token (frontends guarantee this via
-// DecodeToken routing).
+// DecodeToken routing). The token carries the page size that shaped the
+// first page, so every page of one query agrees even when the client hinted
+// a custom _pagesize. Ordered results were sorted once at the coordinator
+// before caching, so later pages stay sorted across fetches.
 func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
-	m, id, err := DecodeToken(token)
+	p, err := decodeToken(token)
 	if err != nil {
 		return nil, err
 	}
+	m, id := fabric.MachineID(p.M), p.ID
 	if m != c.M {
 		return nil, fmt.Errorf("%w: token belongs to %v, fetched on %v", ErrBadToken, m, c.M)
+	}
+	pageSize := p.PS
+	if pageSize <= 0 {
+		pageSize = e.cfg.PageSize
 	}
 	rc := e.caches[c.M]
 	rc.mu.Lock()
@@ -87,9 +104,9 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 		return nil, fmt.Errorf("%w: expired; restart the query", ErrBadToken)
 	}
 	var page []Row
-	if len(entry.rows) > e.cfg.PageSize {
-		page = entry.rows[:e.cfg.PageSize]
-		entry.rows = entry.rows[e.cfg.PageSize:]
+	if len(entry.rows) > pageSize {
+		page = entry.rows[:pageSize]
+		entry.rows = entry.rows[pageSize:]
 	} else {
 		page = entry.rows
 		delete(rc.entries, id)
@@ -98,7 +115,7 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 	rc.mu.Unlock()
 	res := &Result{Rows: page}
 	if id != 0 {
-		res.Continuation = encodeToken(c.M, id)
+		res.Continuation = token // same entry, same page size
 	}
 	return res, nil
 }

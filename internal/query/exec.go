@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"a1/internal/bond"
@@ -70,6 +71,11 @@ func DefaultConfig() Config {
 type Row struct {
 	Vertex core.VertexPtr
 	Values map[string]bond.Value
+
+	// _orderby sort key, resolved where the row was produced so the
+	// coordinator can merge shipped batches without re-reading vertices.
+	key    bond.Value
+	hasKey bool
 }
 
 // Stats describes one query's execution, matching the accounting the paper
@@ -84,6 +90,11 @@ type Stats struct {
 	RDMATime     time.Duration
 	RPCs         int64
 	Elapsed      time.Duration
+	// RowsShipped / BytesShipped account the replies of batched worker
+	// RPCs: with aggregate or top-K pushdown the workers return scalars or
+	// pruned prefixes, so these drop versus shipping the raw rows.
+	RowsShipped  int64
+	BytesShipped int64
 }
 
 // Result is a query response page.
@@ -91,6 +102,7 @@ type Result struct {
 	Rows         []Row
 	Count        int64
 	HasCount     bool
+	Aggregates   map[string]bond.Value // keyed by the _select entry, e.g. "_sum(popularity)"
 	Continuation string
 	Stats        Stats
 }
@@ -155,6 +167,18 @@ func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 		hints:   q.Hints,
 		targets: map[*EdgePattern]core.VertexPtr{},
 	}
+	terminalPattern := terminalOf(q.Root)
+	if terminalPattern.Limit > 0 && len(terminalPattern.Aggs) == 0 {
+		if terminalPattern.Order == nil {
+			// Unordered limit: any K rows satisfy the query, so workers
+			// stop reading vertices once K(+skip) are collected anywhere.
+			st.rowTarget = int64(terminalPattern.Limit + terminalPattern.Skip)
+		} else {
+			// Ordered limit: workers and the merging coordinator retain
+			// only the top K(+skip) rows.
+			st.keep = terminalPattern.Limit + terminalPattern.Skip
+		}
+	}
 	ctx := f.CreateReadTransactionAt(qc, ts)
 	if err := st.resolveMatchTargets(ctx, q.Root); err != nil {
 		return nil, err
@@ -167,6 +191,7 @@ func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	level := q.Root
 	working := len(frontier)
 	var rows []Row
+	var aggStates []aggState
 	for {
 		terminal := level.Edge == nil
 		out, err := st.execLevel(qc, frontier, level, terminal)
@@ -176,6 +201,7 @@ func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 		st.stats.Hops++
 		if terminal {
 			rows = dedupRows(out.rows)
+			aggStates = out.aggs
 			break
 		}
 		// Aggregate replies: dedup and repartition by pointer (§3.4).
@@ -193,19 +219,43 @@ func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	}
 
 	res := &Result{}
-	terminalPattern := terminalOf(q.Root)
-	if terminalPattern.Count {
-		res.Count = int64(len(rows))
-		res.HasCount = true
+	if len(terminalPattern.Aggs) > 0 {
+		if aggStates == nil {
+			aggStates = make([]aggState, len(terminalPattern.Aggs))
+		}
+		res.Aggregates = finalizeAggs(aggStates, terminalPattern.Aggs)
+		if terminalPattern.Count {
+			for i, a := range terminalPattern.Aggs {
+				if a.Kind == AggCount {
+					res.Count = aggStates[i].count
+					res.HasCount = true
+					break
+				}
+			}
+		}
 	}
-	if len(terminalPattern.Selects) > 0 || !terminalPattern.Count {
+	// Rows are materialized unless the terminal is aggregate-only.
+	if len(terminalPattern.Selects) > 0 || len(terminalPattern.Aggs) == 0 {
+		if terminalPattern.Order != nil {
+			sortRows(rows, terminalPattern.Order.Desc)
+		}
+		if skip := terminalPattern.Skip; skip > 0 {
+			if skip >= len(rows) {
+				rows = nil
+			} else {
+				rows = rows[skip:]
+			}
+		}
+		if terminalPattern.Limit > 0 && len(rows) > terminalPattern.Limit {
+			rows = rows[:terminalPattern.Limit]
+		}
 		pageSize := e.cfg.PageSize
 		if q.Hints.PageSize > 0 {
 			pageSize = q.Hints.PageSize
 		}
 		if len(rows) > pageSize {
 			token := e.caches[qc.M].put(qc, e.cfg.ResultTTL, rows[pageSize:])
-			res.Continuation = encodeToken(qc.M, token)
+			res.Continuation = encodeToken(qc.M, token, pageSize)
 			rows = rows[:pageSize]
 		}
 		res.Rows = rows
@@ -230,6 +280,11 @@ type execState struct {
 	ts      uint64
 	hints   Hints
 	targets map[*EdgePattern]core.VertexPtr // pre-resolved _match ids
+
+	// Result-shaping pushdown (terminal level).
+	rowTarget int64        // unordered _limit: stop producing rows at this count (0 = off)
+	rowsOut   atomic.Int64 // rows produced across all batches
+	keep      int          // _orderby+_limit: per-batch/merge top-K retention (0 = all)
 
 	mu    sync.Mutex
 	stats Stats
@@ -334,11 +389,18 @@ func (st *execState) resolveStart(tx *farm.Tx, root *VertexPattern) ([]core.Vert
 			return nil, err
 		}
 	}
-	// Full primary-index scan of the type.
+	// Full primary-index scan of the type. When the root is an unfiltered,
+	// unordered terminal with a _limit, any K vertices of the type answer
+	// the query — stop scanning as soon as enough are found.
+	scanCap := 0
+	if root.Edge == nil && root.Order == nil && root.Limit > 0 &&
+		len(root.Aggs) == 0 && len(root.Preds) == 0 && len(root.Matches) == 0 {
+		scanCap = root.Limit + root.Skip
+	}
 	var hits []core.VertexPtr
 	err := st.graph.ScanVerticesByType(tx, root.Type, func(_ bond.Value, vp core.VertexPtr) bool {
 		hits = append(hits, vp)
-		return true
+		return scanCap == 0 || len(hits) < scanCap
 	})
 	return hits, err
 }
@@ -347,6 +409,13 @@ func (st *execState) resolveStart(tx *farm.Tx, root *VertexPattern) ([]core.Vert
 type levelOutput struct {
 	next []core.VertexPtr
 	rows []Row
+	aggs []aggState // partial aggregates, parallel to the level's Aggs
+}
+
+// replyBytes approximates the wire size of one batch's reply: fat pointers
+// for the next frontier, projected rows, and scalar aggregate partials.
+func (o *levelOutput) replyBytes() int {
+	return len(o.next)*12 + len(o.rows)*64 + len(o.aggs)*24
 }
 
 // execLevel partitions the frontier by primary host and executes the
@@ -383,7 +452,7 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 				if err != nil {
 					return 0, err
 				}
-				return len(out.next)*12 + len(out.rows)*64, nil
+				return out.replyBytes(), nil
 			})
 		} else {
 			out, err = st.execBatch(cc, batch, level, terminal)
@@ -396,8 +465,24 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 			}
 			return
 		}
+		if ship {
+			st.mu.Lock()
+			st.stats.RowsShipped += int64(len(out.rows))
+			st.stats.BytesShipped += int64(out.replyBytes())
+			st.mu.Unlock()
+		}
 		merged.next = append(merged.next, out.next...)
 		merged.rows = append(merged.rows, out.rows...)
+		if out.aggs != nil {
+			if merged.aggs == nil {
+				merged.aggs = make([]aggState, len(level.Aggs))
+			}
+			mergeAggStates(merged.aggs, out.aggs, level.Aggs)
+		}
+		// Ordered-limit merge: never hold more than the top K(+skip) rows.
+		if terminal && st.keep > 0 && len(merged.rows) > 2*st.keep {
+			merged.rows = topK(merged.rows, level.Order.Desc, st.keep)
+		}
 	})
 	if firstErr != nil {
 		return nil, firstErr
@@ -426,9 +511,18 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 	}
 	tx := e.store.Farm().CreateReadTransactionAt(sc, st.ts)
 	out := &levelOutput{}
+	if terminal && len(level.Aggs) > 0 {
+		out.aggs = make([]aggState, len(level.Aggs))
+	}
+	buildRows := terminal && (len(level.Selects) > 0 || len(level.Aggs) == 0)
 	needData := terminal || len(level.Preds) > 0 || len(level.Selects) > 0 || level.Type != ""
 	var schema *bond.Schema
 	for _, vp := range batch {
+		// Unordered _limit short-circuit: once enough rows exist anywhere
+		// in the cluster, stop reading vertices.
+		if terminal && st.rowTarget > 0 && st.rowsOut.Load() >= st.rowTarget {
+			break
+		}
 		var vtx *core.Vertex
 		if needData {
 			v, err := g.ReadVertex(tx, vp)
@@ -468,6 +562,14 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 			}
 		}
 		if terminal {
+			if len(level.Aggs) > 0 && vtx != nil {
+				for i := range level.Aggs {
+					accumAgg(&out.aggs[i], level.Aggs[i], vtx.Data, schema)
+				}
+			}
+			if !buildRows {
+				continue
+			}
 			row := Row{Vertex: vp}
 			if len(level.Selects) > 0 && vtx != nil {
 				row.Values = make(map[string]bond.Value, len(level.Selects))
@@ -477,7 +579,16 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 					}
 				}
 			}
+			if level.Order != nil && vtx != nil {
+				row.key, row.hasKey = resolvePath(vtx.Data, level.Order.Path, schema)
+			}
 			out.rows = append(out.rows, row)
+			st.rowsOut.Add(1)
+			// Ordered-limit pruning: keep this batch's working set at the
+			// top K(+skip) so large frontiers never ship large replies.
+			if st.keep > 0 && len(out.rows) >= 2*st.keep {
+				out.rows = topK(out.rows, level.Order.Desc, st.keep)
+			}
 			continue
 		}
 		next, err := st.traverseEdge(sc, tx, vp, level.Edge)
@@ -485,6 +596,9 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 			return nil, err
 		}
 		out.next = append(out.next, next...)
+	}
+	if terminal && st.keep > 0 && len(out.rows) > st.keep {
+		out.rows = topK(out.rows, level.Order.Desc, st.keep)
 	}
 	return out, nil
 }

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"sort"
+
+	"a1/internal/bond"
+)
+
+// Result shaping: distributed partial aggregation and ordered top-K
+// merging. Each worker batch reduces its slice of the terminal frontier to
+// either scalars (aggregates) or a pruned, locally ordered row prefix
+// (orderby+limit); the coordinator merges the shipped partials. This keeps
+// the bytes returned per RPC proportional to the answer, not to the
+// frontier (paper §3.4 ships operators to data for the same reason).
+
+// aggState is one aggregate's partial result for a batch of vertices. Only
+// the fields the aggregate kind needs are populated.
+type aggState struct {
+	count int64 // rows counted (AggCount) or numeric values seen (AggSum/AggAvg)
+
+	sum     float64 // running sum as float
+	isum    int64   // exact integer sum while no fractional value was seen
+	fracSum bool    // a float/double contributed; report the float sum
+
+	mm     bond.Value // current min or max
+	seenMM bool
+}
+
+// accumAgg folds one vertex's data into an aggregate state.
+func accumAgg(st *aggState, a Aggregate, data bond.Value, schema *bond.Schema) {
+	if a.Kind == AggCount {
+		st.count++
+		return
+	}
+	v, ok := resolvePath(data, a.Path, schema)
+	if !ok || v.IsNull() {
+		return
+	}
+	switch a.Kind {
+	case AggSum, AggAvg:
+		if !isNumeric(v.Kind()) {
+			return
+		}
+		st.count++
+		st.sum += asFloat(v)
+		switch v.Kind() {
+		case bond.KindFloat, bond.KindDouble:
+			st.fracSum = true
+		case bond.KindUInt64:
+			st.isum += int64(v.AsUint())
+		default:
+			st.isum += v.AsInt()
+		}
+	case AggMin:
+		if !st.seenMM {
+			st.mm, st.seenMM = v, true
+		} else if cmp, ok := compareValues(v, st.mm); ok && cmp < 0 {
+			st.mm = v
+		}
+	case AggMax:
+		if !st.seenMM {
+			st.mm, st.seenMM = v, true
+		} else if cmp, ok := compareValues(v, st.mm); ok && cmp > 0 {
+			st.mm = v
+		}
+	}
+}
+
+// mergeAggStates folds a batch's partial aggregates into the coordinator's
+// running states (dst and src are parallel to aggs).
+func mergeAggStates(dst, src []aggState, aggs []Aggregate) {
+	for i := range src {
+		d, s := &dst[i], &src[i]
+		d.count += s.count
+		d.sum += s.sum
+		d.isum += s.isum
+		d.fracSum = d.fracSum || s.fracSum
+		if !s.seenMM {
+			continue
+		}
+		if !d.seenMM {
+			d.mm, d.seenMM = s.mm, true
+			continue
+		}
+		cmp, ok := compareValues(s.mm, d.mm)
+		if !ok {
+			continue
+		}
+		if (aggs[i].Kind == AggMin && cmp < 0) || (aggs[i].Kind == AggMax && cmp > 0) {
+			d.mm = s.mm
+		}
+	}
+}
+
+// finalizeAggs converts merged states into the Result's aggregate values.
+func finalizeAggs(states []aggState, aggs []Aggregate) map[string]bond.Value {
+	out := make(map[string]bond.Value, len(aggs))
+	for i, a := range aggs {
+		s := states[i]
+		switch a.Kind {
+		case AggCount:
+			out[a.Raw] = bond.Int64(s.count)
+		case AggSum:
+			if s.fracSum {
+				out[a.Raw] = bond.Double(s.sum)
+			} else {
+				out[a.Raw] = bond.Int64(s.isum)
+			}
+		case AggAvg:
+			if s.count == 0 {
+				out[a.Raw] = bond.Null
+			} else {
+				out[a.Raw] = bond.Double(s.sum / float64(s.count))
+			}
+		case AggMin, AggMax:
+			if !s.seenMM {
+				out[a.Raw] = bond.Null
+			} else {
+				out[a.Raw] = s.mm
+			}
+		}
+	}
+	return out
+}
+
+// rowLess orders terminal rows by their _orderby key. Rows missing the key
+// sort after keyed rows; ties (and incomparable kinds) break on the stable
+// vertex address so distributed merges are deterministic.
+func rowLess(a, b *Row, desc bool) bool {
+	if a.hasKey != b.hasKey {
+		return a.hasKey
+	}
+	if a.hasKey {
+		if cmp, ok := compareValues(a.key, b.key); ok && cmp != 0 {
+			if desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+	}
+	return a.Vertex.Addr < b.Vertex.Addr
+}
+
+// sortRows orders rows by their _orderby key.
+func sortRows(rows []Row, desc bool) {
+	sort.Slice(rows, func(i, j int) bool { return rowLess(&rows[i], &rows[j], desc) })
+}
+
+// topK sorts rows and keeps the best k — the pruning step both workers
+// (before shipping) and the coordinator (while merging) apply when
+// _orderby and _limit are present.
+func topK(rows []Row, desc bool, k int) []Row {
+	sortRows(rows, desc)
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}

@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"strings"
 
@@ -148,10 +149,28 @@ func NewFilmKG(p Params) *FilmKG {
 
 // entity builds an entity payload of roughly the paper's 220-byte average.
 func (w *FilmKG) entity(id, kind string, names ...string) bond.Value {
-	attrs := map[string]string{
+	return w.entityAttrs(id, map[string]string{
 		"kind": kind,
 		"pad":  strings.Repeat("x", w.P.PayloadPadding),
-	}
+	}, names...)
+}
+
+// filmEntity adds the release-year attribute result-shaping queries order
+// and aggregate on ("newest Spielberg films", "films per decade"). The year
+// is hashed from the id rather than drawn from the generator's RNG so the
+// rest of the graph (placement, casts, popularity) is byte-identical to a
+// generator without it.
+func (w *FilmKG) filmEntity(id string, names ...string) bond.Value {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return w.entityAttrs(id, map[string]string{
+		"kind": "film",
+		"year": fmt.Sprintf("%d", 1960+h.Sum32()%60),
+		"pad":  strings.Repeat("x", w.P.PayloadPadding),
+	}, names...)
+}
+
+func (w *FilmKG) entityAttrs(id string, attrs map[string]string, names ...string) bond.Value {
 	nameVals := make([]bond.Value, 0, len(names))
 	for _, n := range names {
 		nameVals = append(nameVals, bond.String(n))
@@ -286,7 +305,7 @@ func (w *FilmKG) Load(c *fabric.Ctx, g *core.Graph) error {
 	}
 
 	addFilm := func(filmID string, director core.VertexPtr, cast []core.VertexPtr, genre string) (core.VertexPtr, error) {
-		film, err := l.vertex(filmID, w.entity(filmID, "film", "Film "+filmID))
+		film, err := l.vertex(filmID, w.filmEntity(filmID, "Film "+filmID))
 		if err != nil {
 			return core.VertexPtr{}, err
 		}
