@@ -70,6 +70,14 @@ type (
 	Result = query.Result
 	// QueryStats describes a query's execution.
 	QueryStats = query.Stats
+	// Params carries bind values for a parameterized query ("$name"
+	// placeholders in id, predicate constants, _limit and _skip).
+	Params = query.Params
+	// Rows is a streaming cursor over a query's full result set; it pages
+	// through continuation tokens transparently.
+	Rows = query.Rows
+	// QueryError is a classified query failure (Code + message).
+	QueryError = query.Error
 	// RecoveryStats summarizes a disaster recovery run.
 	RecoveryStats = dr.RecoveryStats
 	// ObjectStore is the durable store disaster recovery replicates into.
@@ -86,6 +94,26 @@ const (
 const (
 	RecoverBestEffort = dr.BestEffort
 	RecoverConsistent = dr.Consistent
+)
+
+// Query error codes (QueryError.Code) for transport-level mapping.
+const (
+	CodeInternal   = query.CodeInternal
+	CodeParse      = query.CodeParse
+	CodeBadParam   = query.CodeBadParam
+	CodeNoStart    = query.CodeNoStart
+	CodeBadToken   = query.CodeBadToken
+	CodeWorkingSet = query.CodeWorkingSet
+)
+
+// Common query errors, surfaced for errors.Is.
+var (
+	// ErrNoStart means the root pattern matched no vertex.
+	ErrNoStart = query.ErrNoStart
+	// ErrBadToken rejects malformed or expired continuation tokens.
+	ErrBadToken = query.ErrBadToken
+	// ErrThrottled rejects requests beyond a frontend's MaxInflight.
+	ErrThrottled = frontend.ErrThrottled
 )
 
 // Mode selects execution semantics.
@@ -109,6 +137,7 @@ type Options struct {
 	RegionSize  uint32 // bytes per region (default 16MB)
 	Replicas    int    // replication factor (default 3)
 	Frontends   int    // stateless frontends (default 2)
+	MaxInflight int    // concurrent requests per frontend before ErrThrottled (0 = off)
 	TaskWorkers int    // background task workers per machine (0 = manual)
 
 	// EdgeSpillThreshold overrides the inline→B-tree edge list spill point
@@ -198,7 +227,10 @@ func Open(opts Options) (*DB, error) {
 			qcfg = query.DefaultConfig()
 		}
 		db.engine = query.NewEngine(db.store, qcfg)
-		db.tier = frontend.New(db.fab, db.engine, frontend.Config{Frontends: opts.Frontends})
+		db.tier = frontend.New(db.fab, db.engine, frontend.Config{
+			Frontends:   opts.Frontends,
+			MaxInflight: opts.MaxInflight,
+		})
 		db.tasks, initErr = task.NewRuntime(c, db.farm)
 		if initErr != nil {
 			return
@@ -293,8 +325,68 @@ func (db *DB) QueryAt(c *Ctx, g *Graph, doc string) (*Result, error) {
 	return db.engine.Execute(c, g, []byte(doc))
 }
 
+// QueryRows executes a document and returns a streaming cursor over the
+// full result set: Next drives frontend Fetch transparently across pages,
+// and Close releases coordinator continuation state when the stream is
+// abandoned early.
+//
+//	rows, err := db.QueryRows(c, g, doc)
+//	defer rows.Close(c)
+//	for rows.Next(c) {
+//	    r := rows.Row()
+//	}
+//	err = rows.Err()
+func (db *DB) QueryRows(c *Ctx, g *Graph, doc string) (*Rows, error) {
+	return db.tier.QueryRows(c, g, []byte(doc))
+}
+
+// RowsOf wraps an already-fetched result page in a streaming cursor.
+func (db *DB) RowsOf(res *Result) *Rows { return db.tier.RowsOf(res) }
+
+// Prepare parses and validates an A1QL document once against the engine's
+// plan cache. The statement re-executes with fresh bind values and zero
+// parses — the prepare → bind → execute loop production frontends use for
+// repeated query shapes (§2.2).
+//
+//	pq, _ := db.Prepare(c, g, `{"id": "$who", "_out_edge": {...}}`)
+//	res, _ := pq.Exec(c, a1.Params{"who": "steven.spielberg"})
+func (db *DB) Prepare(c *Ctx, g *Graph, doc string) (*PreparedQuery, error) {
+	p, err := db.tier.Prepare(c, g, []byte(doc))
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{db: db, p: p}, nil
+}
+
+// PreparedQuery is a parsed, validated statement bound to a graph. Safe
+// for concurrent use.
+type PreparedQuery struct {
+	db *DB
+	p  *query.Prepared
+}
+
+// ParamNames lists the "$name" placeholders the statement references,
+// sorted.
+func (pq *PreparedQuery) ParamNames() []string { return pq.p.ParamNames() }
+
+// Exec binds params and runs the statement through the frontend tier.
+// Every execution is a plan-cache hit (Stats.PlanCacheHits = 1): the
+// coordinator performs zero parses and, in Sim mode, pays no CostParse.
+func (pq *PreparedQuery) Exec(c *Ctx, params Params) (*Result, error) {
+	return pq.db.tier.Exec(c, pq.p, params)
+}
+
+// ExecRows binds params and returns a streaming cursor over the result.
+func (pq *PreparedQuery) ExecRows(c *Ctx, params Params) (*Rows, error) {
+	return pq.db.tier.ExecRows(c, pq.p, params)
+}
+
 // Fetch retrieves the next page behind a continuation token.
 func (db *DB) Fetch(c *Ctx, token string) (*Result, error) { return db.tier.Fetch(c, token) }
+
+// Release frees the continuation state behind a token without fetching it
+// (the cursor Close path).
+func (db *DB) Release(c *Ctx, token string) error { return db.tier.Release(c, token) }
 
 // Disaster recovery.
 

@@ -3,6 +3,7 @@ package a1
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"a1/internal/core"
@@ -260,6 +261,130 @@ func TestPublicAPISimModeKnowledgeGraph(t *testing.T) {
 		}
 		t.Logf("sim Q1: count=%d latency=%v local=%.1f%% objects=%d",
 			res.Count, res.Stats.Elapsed, res.Stats.LocalFrac*100, res.Stats.ObjectsRead)
+	})
+}
+
+func TestPublicAPIPreparedAndCursor(t *testing.T) {
+	db := openTestDB(t, Options{Machines: 8})
+	db.Run(func(c *Ctx) {
+		if err := db.CreateTenant(c, "bing"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateGraph(c, "bing", "kg"); err != nil {
+			t.Fatal(err)
+		}
+		g, err := db.OpenGraph(c, "bing", "kg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kg := workload.NewFilmKG(workload.TestParams())
+		if err := kg.Load(c, g); err != nil {
+			t.Fatal(err)
+		}
+
+		// Prepare once, execute with different bind values; each execution
+		// is a plan-cache hit (zero parses) and matches the literal twin.
+		pq, err := db.Prepare(c, g, `{"id": "$who", "_out_edge": {"_type": "actor.film",
+			"_vertex": {"_select": ["_count(*)"]}}}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, who := range []string{"tom.hanks", "actor.00000"} {
+			res, err := pq.Exec(c, Params{"who": who})
+			if err != nil {
+				t.Fatalf("%s: %v", who, err)
+			}
+			if res.Stats.PlanCacheHits != 1 {
+				t.Errorf("%s: PlanCacheHits = %d, want 1", who, res.Stats.PlanCacheHits)
+			}
+			literal, err := db.Query(c, g, fmt.Sprintf(`{"id": %q, "_out_edge": {"_type": "actor.film",
+				"_vertex": {"_select": ["_count(*)"]}}}`, who))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != literal.Count {
+				t.Errorf("%s: prepared %d != literal %d", who, res.Count, literal.Count)
+			}
+		}
+
+		// A cursor streams a multi-page result to exhaustion with no
+		// manual Fetch calls.
+		rows, err := db.QueryRows(c, g, `{"_hints": {"page_size": 10},
+			"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next(c) {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		want := workload.TestParams().ActorPool + 1
+		if n != want || rows.Pages() < 2 {
+			t.Errorf("streamed %d rows over %d pages, want %d rows multi-page", n, rows.Pages(), want)
+		}
+
+		// Abandoning a stream releases coordinator continuation state.
+		rows, err = pq.ExecRows(c, Params{"who": "tom.hanks"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rows.Close(c); err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < db.Fabric().Machines(); m++ {
+			if n := db.Engine().PendingResults(MachineID(m)); n != 0 {
+				t.Errorf("machine %d holds %d continuation entries after Close", m, n)
+			}
+		}
+	})
+}
+
+func TestPublicAPIThrottlingEndToEnd(t *testing.T) {
+	// MaxInflight surfaces ErrThrottled through the whole stack. In Sim
+	// mode the interleaving is deterministic: each query holds its
+	// frontend slot across simulated client wire time, so concurrent
+	// queries beyond the limit are rejected.
+	db := openTestDB(t, Options{Machines: 8, Mode: Sim, Frontends: 1, MaxInflight: 1})
+	db.Run(func(c *Ctx) {
+		if err := db.CreateTenant(c, "bing"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateGraph(c, "bing", "kg"); err != nil {
+			t.Fatal(err)
+		}
+		g, err := db.OpenGraph(c, "bing", "kg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kg := workload.NewFilmKG(workload.TestParams())
+		if err := kg.Load(c, g); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		throttled, succeeded := 0, 0
+		c.Parallel(3, func(i int, cc *Ctx) {
+			_, err := db.Query(cc, g, `{"id": "tom.hanks", "_select": ["id"]}`)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				succeeded++
+			case errors.Is(err, ErrThrottled):
+				throttled++
+			default:
+				t.Errorf("query %d: %v", i, err)
+			}
+		})
+		if succeeded == 0 || throttled == 0 {
+			t.Errorf("succeeded=%d throttled=%d, want both nonzero", succeeded, throttled)
+		}
+		// Once the burst drains, the frontend accepts requests again.
+		if _, err := db.Query(c, g, `{"id": "tom.hanks", "_select": ["id"]}`); err != nil {
+			t.Errorf("query after burst: %v", err)
+		}
 	})
 }
 

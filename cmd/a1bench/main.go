@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"restart", "fast restart vs disaster recovery downtime", single(bench.FastRestart)},
 	{"ablations", "edge-spill / shipping / placement design ablations", bench.Ablations},
 	{"pushdown", "result-shaping pushdown: _limit / aggregate scalar shipping wins", single(bench.Pushdown)},
+	{"plancache", "prepared statements: parse-once plan cache vs per-request parsing", single(bench.PlanCache)},
 }
 
 func main() {

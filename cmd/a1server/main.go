@@ -4,19 +4,31 @@
 //
 // Endpoints:
 //
-//	POST /query?tenant=bing&graph=kg   body: A1QL JSON    -> result page
-//	GET  /fetch?token=...                                  -> next page
-//	GET  /stats                                            -> cluster counters
-//	GET  /healthz
+//	POST   /query?tenant=bing&graph=kg   body: A1QL JSON         -> result page
+//	POST   /query                        body: {"query": <A1QL>, -> result page
+//	                                            "params": {...}}    (prepared + bound)
+//	GET    /fetch?token=...                                      -> next page
+//	DELETE /fetch?token=...                                      -> release continuation state
+//	GET    /stats                                                -> cluster counters
+//	GET    /healthz
+//
+// Query failures map to protocol statuses: parse and bind errors are 400,
+// an unmatched root is 404, an expired continuation token is 410, a
+// working-set fast-fail is 413, and frontend throttling is 429.
 //
 // Example:
 //
 //	$ go run ./cmd/a1server &
 //	$ curl -s -XPOST 'localhost:8080/query' -d '{"id":"tom.hanks","_select":["id"]}'
+//	$ curl -s -XPOST 'localhost:8080/query' -d '{
+//	      "query": {"id": "$who", "_select": ["id", "popularity"]},
+//	      "params": {"who": "tom.hanks"}}'
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,22 +53,29 @@ type queryResponse struct {
 }
 
 type statsJSON struct {
-	Hops         int     `json:"hops"`
-	VerticesRead int64   `json:"vertices_read"`
-	ObjectsRead  int64   `json:"objects_read"`
-	LocalPct     float64 `json:"local_read_pct"`
-	ElapsedUS    int64   `json:"elapsed_us"`
+	Hops          int     `json:"hops"`
+	VerticesRead  int64   `json:"vertices_read"`
+	ObjectsRead   int64   `json:"objects_read"`
+	LocalPct      float64 `json:"local_read_pct"`
+	ElapsedUS     int64   `json:"elapsed_us"`
+	PlanCacheHits int64   `json:"plan_cache_hits,omitempty"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 func toResponse(res *a1.Result) queryResponse {
 	out := queryResponse{
 		Continuation: res.Continuation,
 		Stats: statsJSON{
-			Hops:         res.Stats.Hops,
-			VerticesRead: res.Stats.VerticesRead,
-			ObjectsRead:  res.Stats.ObjectsRead,
-			LocalPct:     res.Stats.LocalFrac * 100,
-			ElapsedUS:    res.Stats.Elapsed.Microseconds(),
+			Hops:          res.Stats.Hops,
+			VerticesRead:  res.Stats.VerticesRead,
+			ObjectsRead:   res.Stats.ObjectsRead,
+			LocalPct:      res.Stats.LocalFrac * 100,
+			ElapsedUS:     res.Stats.Elapsed.Microseconds(),
+			PlanCacheHits: res.Stats.PlanCacheHits,
 		},
 	}
 	if res.HasCount {
@@ -73,26 +92,114 @@ func toResponse(res *a1.Result) queryResponse {
 	return out
 }
 
+// classifyError maps a query failure to a protocol status and wire code
+// instead of a blanket 500.
+func classifyError(err error) (status int, code string) {
+	if errors.Is(err, a1.ErrThrottled) {
+		return http.StatusTooManyRequests, "throttled"
+	}
+	var qe *a1.QueryError
+	if errors.As(err, &qe) {
+		switch qe.Code {
+		case a1.CodeParse, a1.CodeBadParam:
+			return http.StatusBadRequest, qe.Code.String()
+		case a1.CodeNoStart:
+			return http.StatusNotFound, qe.Code.String()
+		case a1.CodeBadToken:
+			return http.StatusGone, qe.Code.String()
+		case a1.CodeWorkingSet:
+			return http.StatusRequestEntityTooLarge, qe.Code.String()
+		}
+		return http.StatusInternalServerError, qe.Code.String()
+	}
+	// Sentinel fallbacks for errors surfaced outside the engine boundary.
+	switch {
+	case errors.Is(err, a1.ErrBadToken):
+		return http.StatusGone, "bad_token"
+	case errors.Is(err, a1.ErrNoStart):
+		return http.StatusNotFound, "no_start"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := classifyError(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: err.Error(), Code: code})
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST an A1QL document", http.StatusMethodNotAllowed)
 		return
 	}
-	doc, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	doc, params, err := splitEnvelope(body)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	var res *a1.Result
 	var qerr error
 	s.db.Run(func(c *a1.Ctx) {
-		res, qerr = s.db.Query(c, s.g, string(doc))
+		if params == nil {
+			res, qerr = s.db.Query(c, s.g, string(doc))
+			return
+		}
+		var pq *a1.PreparedQuery
+		if pq, qerr = s.db.Prepare(c, s.g, string(doc)); qerr != nil {
+			return
+		}
+		res, qerr = pq.Exec(c, params)
 	})
 	if qerr != nil {
-		http.Error(w, qerr.Error(), http.StatusBadRequest)
+		writeError(w, qerr)
 		return
 	}
 	writeJSON(w, toResponse(res))
+}
+
+// splitEnvelope distinguishes a raw A1QL document from the parameterized
+// {"query": ..., "params": {...}} form. params == nil means raw. A body
+// is an envelope only when it has a "query" key and nothing beyond
+// "query"/"params" — a raw document with a predicate on a field named
+// "query" plus any other key still routes as raw.
+func splitEnvelope(body []byte) (doc []byte, params a1.Params, err error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	var probe map[string]json.RawMessage
+	if err := dec.Decode(&probe); err != nil {
+		return body, nil, nil // not an object: let the engine report the parse error
+	}
+	if _, ok := probe["query"]; !ok {
+		return body, nil, nil
+	}
+	for k := range probe {
+		if k != "query" && k != "params" {
+			return body, nil, nil
+		}
+	}
+	doc = probe["query"]
+	var docStr string
+	if json.Unmarshal(probe["query"], &docStr) == nil {
+		doc = []byte(docStr) // "query" given as a string
+	}
+	params = a1.Params{}
+	if praw, ok := probe["params"]; ok {
+		pdec := json.NewDecoder(bytes.NewReader(praw))
+		pdec.UseNumber()
+		var pm map[string]interface{}
+		if err := pdec.Decode(&pm); err != nil {
+			return nil, nil, &a1.QueryError{Code: a1.CodeParse, Err: fmt.Errorf("bad params object: %w", err)}
+		}
+		params = a1.Params(pm)
+	}
+	return doc, params, nil
 }
 
 func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
@@ -101,13 +208,23 @@ func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing token", http.StatusBadRequest)
 		return
 	}
+	if r.Method == http.MethodDelete {
+		var qerr error
+		s.db.Run(func(c *a1.Ctx) { qerr = s.db.Release(c, token) })
+		if qerr != nil {
+			writeError(w, qerr)
+			return
+		}
+		writeJSON(w, map[string]string{"released": token})
+		return
+	}
 	var res *a1.Result
 	var qerr error
 	s.db.Run(func(c *a1.Ctx) {
 		res, qerr = s.db.Fetch(c, token)
 	})
 	if qerr != nil {
-		http.Error(w, qerr.Error(), http.StatusGone)
+		writeError(w, qerr)
 		return
 	}
 	writeJSON(w, toResponse(res))
@@ -115,13 +232,16 @@ func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	m := &s.db.Fabric().Metrics
+	hits, misses := s.db.Engine().PlanCacheStats()
 	writeJSON(w, map[string]interface{}{
-		"machines":      s.db.Fabric().Machines(),
-		"bytes_used":    s.db.UsedBytes(),
-		"local_reads":   m.LocalReads.Load(),
-		"remote_reads":  m.RemoteReads.Load(),
-		"remote_writes": m.RemoteWrites.Load(),
-		"rpcs":          m.RPCs.Load(),
+		"machines":          s.db.Fabric().Machines(),
+		"bytes_used":        s.db.UsedBytes(),
+		"local_reads":       m.LocalReads.Load(),
+		"remote_reads":      m.RemoteReads.Load(),
+		"remote_writes":     m.RemoteWrites.Load(),
+		"rpcs":              m.RPCs.Load(),
+		"plan_cache_hits":   hits,
+		"plan_cache_misses": misses,
 	})
 }
 
@@ -134,13 +254,14 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		machines = flag.Int("machines", 16, "simulated cluster size")
-		scale    = flag.String("scale", "test", "knowledge graph size: test | paper")
+		addr        = flag.String("addr", ":8080", "listen address")
+		machines    = flag.Int("machines", 16, "simulated cluster size")
+		scale       = flag.String("scale", "test", "knowledge graph size: test | paper")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent requests per frontend before 429 (0 = off)")
 	)
 	flag.Parse()
 
-	db, err := a1.Open(a1.Options{Machines: *machines, TaskWorkers: 1})
+	db, err := a1.Open(a1.Options{Machines: *machines, TaskWorkers: 1, MaxInflight: *maxInflight})
 	if err != nil {
 		log.Fatal(err)
 	}

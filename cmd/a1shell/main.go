@@ -10,11 +10,22 @@
 //	...
 //	count: 49   (8 vertices read, 1.2ms, 96% local)
 //
-// Shell commands: :help :stats :examples :quit
+// Documents may reference "$name" parameters bound with :let:
+//
+//	a1> :let who "tom.hanks"
+//	a1> { "id" : "$who", "_select" : ["id", "popularity"] }
+//
+// Every document is prepared against the engine's plan cache, so
+// re-running a shape (with the same or different bindings) skips the
+// parse; the stats line shows [plan cache hit] when it did.
+//
+// Shell commands: :help :let :unlet :stats :examples :quit
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +36,10 @@ import (
 	"a1/internal/bench"
 	"a1/internal/workload"
 )
+
+// maxPrintRows caps rows printed per query; the cursor is closed after,
+// releasing any remaining continuation state on the coordinator.
+const maxPrintRows = 20
 
 func main() {
 	var (
@@ -65,6 +80,7 @@ func main() {
 		*machines, kg.Stats.Vertices, kg.Stats.Edges)
 	fmt.Println("enter an A1QL JSON document followed by a blank line; :help for commands")
 
+	sh := &shell{db: db, g: g, bindings: a1.Params{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -80,7 +96,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
-			if !command(db, g, trimmed) {
+			if !sh.command(trimmed) {
 				return
 			}
 			prompt()
@@ -96,11 +112,17 @@ func main() {
 			}
 		}
 		if buf.Len() > 0 {
-			runQuery(db, g, buf.String())
+			sh.runQuery(buf.String())
 			buf.Reset()
 		}
 		prompt()
 	}
+}
+
+type shell struct {
+	db       *a1.DB
+	g        *a1.Graph
+	bindings a1.Params
 }
 
 // looksComplete reports whether braces balance (cheap multi-line check).
@@ -126,13 +148,29 @@ func looksComplete(s string) bool {
 	return depth <= 0 && strings.Contains(s, "{")
 }
 
-func runQuery(db *a1.DB, g *a1.Graph, doc string) {
-	db.Run(func(c *a1.Ctx) {
-		res, err := db.Query(c, g, doc)
+// runQuery prepares the document (plan cache), binds the shell's :let
+// values, and streams the result through a Rows cursor — no manual Fetch
+// paging.
+func (sh *shell) runQuery(doc string) {
+	sh.db.Run(func(c *a1.Ctx) {
+		pq, err := sh.db.Prepare(c, sh.g, doc)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			return
 		}
+		params := a1.Params{}
+		for _, name := range pq.ParamNames() {
+			if v, ok := sh.bindings[name]; ok {
+				params[name] = v
+			}
+		}
+		rows, err := pq.ExecRows(c, params)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		defer rows.Close(c)
+		res := rows.Result()
 		if res.HasCount {
 			fmt.Printf("count: %d\n", res.Count)
 		}
@@ -149,40 +187,62 @@ func runQuery(db *a1.DB, g *a1.Graph, doc string) {
 				fmt.Printf("  %s = %v\n", k, res.Aggregates[k])
 			}
 		}
-		for i, row := range res.Rows {
-			if i >= 20 {
-				fmt.Printf("... %d more rows", len(res.Rows)-20)
-				if res.Continuation != "" {
-					fmt.Printf(" (+ continuation)")
-				}
-				fmt.Println()
+		printed := 0
+		truncated := false
+		for rows.Next(c) {
+			if printed >= maxPrintRows {
+				truncated = true
 				break
 			}
+			row := rows.Row()
 			if len(row.Values) == 0 {
 				fmt.Printf("  %v\n", row.Vertex.Addr)
-				continue
+			} else {
+				var parts []string
+				for k, v := range row.Values {
+					parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+				}
+				fmt.Printf("  %s\n", strings.Join(parts, "  "))
 			}
-			var parts []string
-			for k, v := range row.Values {
-				parts = append(parts, fmt.Sprintf("%s=%s", k, v))
-			}
-			fmt.Printf("  %s\n", strings.Join(parts, "  "))
+			printed++
+		}
+		if err := rows.Err(); err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		if truncated {
+			fmt.Printf("... output capped at %d rows (cursor closed; add _limit to shape the result)\n", maxPrintRows)
 		}
 		s := res.Stats
-		fmt.Printf("(%d hops, %d vertices, %d objects read, %.0f%% local, %d rpcs)\n",
-			s.Hops, s.VerticesRead, s.ObjectsRead, s.LocalFrac*100, s.RPCs)
+		cacheNote := ""
+		if s.PlanCacheHits > 0 {
+			cacheNote = ", plan cache hit"
+		}
+		fmt.Printf("(%d hops, %d vertices, %d objects read, %.0f%% local, %d rpcs%s)\n",
+			s.Hops, s.VerticesRead, s.ObjectsRead, s.LocalFrac*100, s.RPCs, cacheNote)
 	})
 }
 
-func command(db *a1.DB, g *a1.Graph, cmd string) bool {
-	switch strings.Fields(cmd)[0] {
+func (sh *shell) command(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
 	case ":quit", ":q", ":exit":
 		return false
+	case ":let":
+		sh.let(cmd, fields)
+	case ":unlet":
+		if len(fields) != 2 {
+			fmt.Println("usage: :unlet name")
+			break
+		}
+		delete(sh.bindings, fields[1])
 	case ":stats":
-		m := &db.Fabric().Metrics
-		fmt.Printf("cluster: %d machines, %d bytes allocated\n", db.Fabric().Machines(), db.UsedBytes())
+		m := &sh.db.Fabric().Metrics
+		hits, misses := sh.db.Engine().PlanCacheStats()
+		fmt.Printf("cluster: %d machines, %d bytes allocated\n", sh.db.Fabric().Machines(), sh.db.UsedBytes())
 		fmt.Printf("fabric: %d local reads, %d remote reads, %d rpcs, %d writes\n",
 			m.LocalReads.Load(), m.RemoteReads.Load(), m.RPCs.Load(), m.RemoteWrites.Load())
+		fmt.Printf("plan cache: %d hits, %d misses\n", hits, misses)
 	case ":examples":
 		fmt.Println("-- Q1: actors who worked with Spielberg")
 		fmt.Println(bench.Q1)
@@ -194,14 +254,59 @@ func command(db *a1.DB, g *a1.Graph, cmd string) bool {
 		fmt.Println(bench.QTopFilms)
 		fmt.Println("-- aggregates: stats over Spielberg's filmography (_sum/_min/_max/_avg)")
 		fmt.Println(bench.QFilmStats)
+		fmt.Println("-- parameters: bind with :let, then reference \"$name\" (prepared once, re-run cheaply)")
+		fmt.Println(`:let director "steven.spielberg"`)
+		fmt.Println(`:let k 5`)
+		fmt.Println(bench.QTopFilmsParam)
 	case ":help":
-		fmt.Println(":stats     cluster + fabric counters")
-		fmt.Println(":examples  the paper's Table 2 queries plus result-shaping examples")
-		fmt.Println(":quit      exit")
+		fmt.Println(":let               list parameter bindings")
+		fmt.Println(":let name value    bind $name (value is JSON: 42, 3.5, \"str\", true)")
+		fmt.Println(":unlet name        remove a binding")
+		fmt.Println(":stats             cluster + fabric + plan cache counters")
+		fmt.Println(":examples          the paper's Table 2 queries plus shaping/parameter examples")
+		fmt.Println(":quit              exit")
+		fmt.Println()
+		fmt.Println("documents may use \"$name\" parameters (id, predicate values, _limit/_skip);")
+		fmt.Println("every document is prepared once and re-executions hit the plan cache;")
+		fmt.Println("large results stream through a cursor — no manual continuation paging")
 	default:
 		fmt.Printf("unknown command %s (:help)\n", cmd)
 	}
 	return true
+}
+
+// let implements `:let` (list) and `:let name value` (bind). Values parse
+// as JSON; unparseable values bind as bare strings for convenience.
+func (sh *shell) let(cmd string, fields []string) {
+	if len(fields) == 1 {
+		if len(sh.bindings) == 0 {
+			fmt.Println("no bindings (use :let name value)")
+			return
+		}
+		names := make([]string, 0, len(sh.bindings))
+		for n := range sh.bindings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  $%s = %v\n", n, sh.bindings[n])
+		}
+		return
+	}
+	name := fields[1]
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cmd), ":let"))
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, name))
+	if rest == "" {
+		fmt.Println("usage: :let name value")
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader([]byte(rest)))
+	dec.UseNumber()
+	var v interface{}
+	if err := dec.Decode(&v); err != nil {
+		v = rest // bare string
+	}
+	sh.bindings[name] = v
 }
 
 func fatal(err error) {

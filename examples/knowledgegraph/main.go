@@ -56,21 +56,35 @@ func main() {
 				res.Stats.LocalFrac*100)
 		}
 
-		// Large result sets page through continuation tokens (§3.4).
-		fmt.Println("paged scan of every actor entity:")
-		res, err := db.Query(c, g, `{
+		// Large result sets stream through a cursor: Next pages through
+		// continuation tokens (§3.4) behind the scenes — no manual Fetch
+		// loop.
+		fmt.Println("streamed scan of every actor entity:")
+		rows, err := db.QueryRows(c, g, `{
 			"_hints": {"page_size": 25},
 			"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]
 		}`)
 		must(err)
-		pages, rows := 1, len(res.Rows)
-		for res.Continuation != "" {
-			res, err = db.Fetch(c, res.Continuation)
-			must(err)
-			pages++
-			rows += len(res.Rows)
+		defer rows.Close(c)
+		n := 0
+		for rows.Next(c) {
+			n++
 		}
-		fmt.Printf("   %d actors over %d pages\n", rows, pages)
+		must(rows.Err())
+		fmt.Printf("   %d actors over %d pages\n", n, rows.Pages())
+
+		// The same shape as a prepared statement: parse once, re-execute
+		// with fresh bind values ($kind) and zero parses.
+		pq, err := db.Prepare(c, g, `{
+			"_type": "entity", "str_str_map[kind]": "$kind", "_select": ["_count(*)"]
+		}`)
+		must(err)
+		for _, kind := range []string{"actor", "film", "genre"} {
+			res, err := pq.Exec(c, a1.Params{"kind": kind})
+			must(err)
+			fmt.Printf("   prepared count(kind=%s) = %d (plan cache hits: %d)\n",
+				kind, res.Count, res.Stats.PlanCacheHits)
+		}
 	})
 }
 

@@ -125,6 +125,35 @@ func main() {
 		fmt.Printf("cast size: %d, first alphabetically: %s\n",
 			res.Count, res.Aggregates["_min(name)"])
 
+		// Prepared statement: parse and validate once, re-execute with
+		// fresh "$name" bind values — zero parses per execution.
+		pq, err := db.Prepare(c, g, `{
+			"id": "$film",
+			"_out_edge": {"_type": "acted", "_vertex": {
+				"_select": ["name"], "_limit": "$k"
+			}}
+		}`)
+		must(err)
+		res, err = pq.Exec(c, a1.Params{"film": "Big", "k": 5})
+		must(err)
+		fmt.Printf("prepared query: %d cast rows (plan cache hits: %d)\n",
+			len(res.Rows), res.Stats.PlanCacheHits)
+
+		// Streaming cursor: iterate the full result set; continuation
+		// pages are fetched behind the scenes.
+		rows, err := db.QueryRows(c, g, `{
+			"id": "Big",
+			"_out_edge": {"_type": "acted", "_vertex": {"_select": ["name"]}}
+		}`)
+		must(err)
+		defer rows.Close(c)
+		streamed := 0
+		for rows.Next(c) {
+			streamed++
+		}
+		must(rows.Err())
+		fmt.Printf("cursor streamed %d rows\n", streamed)
+
 		// Secondary index scan (origin was declared as a secondary index).
 		count := 0
 		must(g.IndexScan(rtx, "actor", "origin", a1.Str("usa"), func(a1.VertexPtr) bool {

@@ -72,6 +72,19 @@ const (
   "_out_edge" : { "_type" : "director.film",
     "_vertex" : { "_select" : ["_count(*)", "_avg(popularity)",
       "_max(popularity)", "_min(str_str_map[year])"] }}}`
+
+	// QTopFilmsParam: QTopFilms with "$director" and "$k" placeholders —
+	// prepare once, re-execute with fresh bind values and zero parses.
+	QTopFilmsParam = `{ "id" : "$director",
+  "_out_edge" : { "_type" : "director.film",
+    "_vertex" : { "_select" : ["name[0]", "popularity"],
+      "_orderby" : "-popularity", "_limit" : "$k" }}}`
+
+	// QActorFilmsParam: per-actor filmography count keyed by a "$who"
+	// placeholder — the plan-cache experiment's repeated query shape.
+	QActorFilmsParam = `{ "id" : "$who",
+  "_out_edge" : { "_type" : "actor.film",
+    "_vertex" : { "_select" : ["_count(*)"] }}}`
 )
 
 // Scale selects experiment sizing.

@@ -28,6 +28,7 @@ func latencySweep(id, title, doc string, spec Spec) (*Report, error) {
 		m := MeasureRate(k.DB, k.G, doc, nil, rate, spec.QueriesPerPt)
 		r.Add(rate, fmtMS(m.Avg), fmtMS(m.P50), fmtMS(m.P99), fmtMS(m.Max), float64(m.Errors))
 	}
+	r.Note("plan cache warm: repeated documents skip the %v parse, as production frontends re-running one shape would", spec.QueryCfg.CostParse)
 	return r, nil
 }
 

@@ -546,6 +546,17 @@ func (g *Graph) IndexScan(tx *farm.Tx, typeName, fieldName string, value bond.Va
 // IndexRangeScan visits vertices whose secondary-indexed attribute lies in
 // [lo, hi) — an extension beyond the paper's equality lookups.
 func (g *Graph) IndexRangeScan(tx *farm.Tx, typeName, fieldName string, lo, hi bond.Value, fn func(vp VertexPtr) bool) error {
+	return g.IndexRangeScanBounds(tx, typeName, fieldName, lo, true, hi, false, fn)
+}
+
+// IndexRangeScanBounds visits vertices whose secondary-indexed attribute
+// lies between lo and hi with explicit inclusivity per side; a Null bound
+// is unbounded. Bound values must match the indexed field's stored kind
+// (the ordered key encoding is kind-tagged), which the query layer
+// guarantees by coercion. Secondary keys carry the vertex address as a
+// suffix, so inclusive/exclusive edges are realized by starting or
+// stopping at the key-prefix boundary.
+func (g *Graph) IndexRangeScanBounds(tx *farm.Tx, typeName, fieldName string, lo bond.Value, loInc bool, hi bond.Value, hiInc bool, fn func(vp VertexPtr) bool) error {
 	vt, err := g.vertexType(tx.Ctx(), typeName)
 	if err != nil {
 		return err
@@ -561,10 +572,20 @@ func (g *Graph) IndexRangeScan(tx *farm.Tx, typeName, fieldName string, lo, hi b
 		st := farm.OpenBTree(g.store.farm, si.Tree)
 		var from, to []byte
 		if !lo.IsNull() {
-			from = bond.OrderedEncode(nil, lo)
+			enc := bond.OrderedEncode(nil, lo)
+			if loInc {
+				from = enc // every key with attr == lo sorts after the bare prefix
+			} else {
+				from = prefixEnd(enc) // skip all keys with attr == lo
+			}
 		}
 		if !hi.IsNull() {
-			to = bond.OrderedEncode(nil, hi)
+			enc := bond.OrderedEncode(nil, hi)
+			if hiInc {
+				to = prefixEnd(enc) // include all keys with attr == hi
+			} else {
+				to = enc
+			}
 		}
 		return st.Scan(tx, from, to, func(_, v []byte) bool {
 			return fn(valuePtr(v))

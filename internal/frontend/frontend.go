@@ -107,6 +107,29 @@ func (t *Tier) Query(c *fabric.Ctx, g *core.Graph, doc []byte) (*query.Result, e
 	return res, err
 }
 
+// Prepare parses and validates a document once against the engine's plan
+// cache; the returned statement executes through the tier with Exec.
+func (t *Tier) Prepare(c *fabric.Ctx, g *core.Graph, doc []byte) (*query.Prepared, error) {
+	return t.engine.Prepare(c, g, doc)
+}
+
+// Exec runs a prepared statement with fresh bind values through the
+// frontend path: the statement binds against the cached AST (no parse) and
+// a random backend coordinates, exactly like Query.
+func (t *Tier) Exec(c *fabric.Ctx, p *query.Prepared, params query.Params) (*query.Result, error) {
+	fe, err := t.pickFrontend()
+	if err != nil {
+		return nil, err
+	}
+	defer t.release(fe)
+	t.clientWire(c)
+	backend := t.pickBackend()
+	t.clientWire(c)
+	res, err := p.Exec(c.At(backend), params)
+	t.clientWire(c)
+	return res, err
+}
+
 // Fetch retrieves the next page for a continuation token, decoding the
 // coordinator's identity from the token and forwarding there (§3.4).
 func (t *Tier) Fetch(c *fabric.Ctx, token string) (*query.Result, error) {
@@ -124,4 +147,55 @@ func (t *Tier) Fetch(c *fabric.Ctx, token string) (*query.Result, error) {
 	res, err := t.engine.Fetch(c.At(coordinator), token)
 	t.clientWire(c)
 	return res, err
+}
+
+// Release frees the continuation state behind a token (cursor Close).
+// Unlike Fetch it is not throttled: dropping server-side state should
+// never be rejected under load.
+func (t *Tier) Release(c *fabric.Ctx, token string) error {
+	coordinator, _, err := query.DecodeToken(token)
+	if err != nil {
+		return err
+	}
+	t.clientWire(c)
+	t.clientWire(c)
+	err = t.engine.Release(c.At(coordinator), token)
+	t.clientWire(c)
+	return err
+}
+
+// tierFetcher drives a cursor's page fetches and release through the
+// frontend tier (SLB + token routing), like an external client.
+type tierFetcher struct{ t *Tier }
+
+func (f tierFetcher) Fetch(c *fabric.Ctx, token string) (*query.Result, error) {
+	return f.t.Fetch(c, token)
+}
+
+func (f tierFetcher) Release(c *fabric.Ctx, token string) error {
+	return f.t.Release(c, token)
+}
+
+// QueryRows executes a document and returns a streaming cursor whose page
+// fetches ride the frontend tier transparently.
+func (t *Tier) QueryRows(c *fabric.Ctx, g *core.Graph, doc []byte) (*query.Rows, error) {
+	res, err := t.Query(c, g, doc)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewRows(res, tierFetcher{t}), nil
+}
+
+// ExecRows runs a prepared statement and returns a streaming cursor.
+func (t *Tier) ExecRows(c *fabric.Ctx, p *query.Prepared, params query.Params) (*query.Rows, error) {
+	res, err := t.Exec(c, p, params)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewRows(res, tierFetcher{t}), nil
+}
+
+// RowsOf wraps an already-fetched first page in a tier-routed cursor.
+func (t *Tier) RowsOf(res *query.Result) *query.Rows {
+	return query.NewRows(res, tierFetcher{t})
 }

@@ -14,6 +14,12 @@ import (
 
 func newTier(t *testing.T) (*Tier, *core.Graph, *fabric.Ctx) {
 	t.Helper()
+	tier, g, c, _ := newTierEngine(t)
+	return tier, g, c
+}
+
+func newTierEngine(t *testing.T) (*Tier, *core.Graph, *fabric.Ctx, *query.Engine) {
+	t.Helper()
 	fab := fabric.New(fabric.DefaultConfig(8, fabric.Direct), nil)
 	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
 	c := fab.NewCtx(0, nil)
@@ -34,7 +40,7 @@ func newTier(t *testing.T) (*Tier, *core.Graph, *fabric.Ctx) {
 	cfg := query.DefaultConfig()
 	cfg.PageSize = 10
 	engine := query.NewEngine(s, cfg)
-	return New(fab, engine, Config{Frontends: 2}), g, c
+	return New(fab, engine, Config{Frontends: 2}), g, c, engine
 }
 
 func TestEndToEndQueryThroughFrontend(t *testing.T) {
@@ -156,6 +162,150 @@ func TestThrottling(t *testing.T) {
 	tier.release(fe2)
 	if _, err := tier.pickFrontend(); err != nil {
 		t.Errorf("after release err = %v", err)
+	}
+}
+
+func TestPreparedExecThroughTier(t *testing.T) {
+	tier, g, c := newTier(t)
+	p, err := tier.Prepare(c, g, []byte(`{"id": "$who", "_out_edge": {"_type": "actor.film",
+		"_vertex": {"_select": ["_count(*)"]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, who := range []string{"tom.hanks", "actor.00000"} {
+		res, err := tier.Exec(c, p, query.Params{"who": who})
+		if err != nil {
+			t.Fatalf("%s: %v", who, err)
+		}
+		if !res.HasCount || res.Count == 0 {
+			t.Errorf("%s: count = %d", who, res.Count)
+		}
+		if res.Stats.PlanCacheHits != 1 {
+			t.Errorf("%s: PlanCacheHits = %d, want 1", who, res.Stats.PlanCacheHits)
+		}
+	}
+}
+
+func TestCursorThroughTier(t *testing.T) {
+	// A cursor drives frontend Fetch transparently: every page re-enters
+	// through the SLB and routes back to the coordinator.
+	tier, g, c := newTier(t)
+	rows, err := tier.QueryRows(c, g, []byte(`{"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next(c) {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := workload.TestParams().ActorPool + 1 // pool + tom hanks
+	if n != want {
+		t.Errorf("streamed %d rows, want %d", n, want)
+	}
+	if rows.Pages() < 2 {
+		t.Errorf("pages = %d, want multi-page", rows.Pages())
+	}
+}
+
+func TestCursorCloseReleasesThroughTier(t *testing.T) {
+	tier, g, c, engine := newTierEngine(t)
+	rows, err := tier.QueryRows(c, g, []byte(`{"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next(c) {
+		t.Fatal("no rows")
+	}
+	// The token names its coordinator; after Close, that machine must hold
+	// no continuation state.
+	coordinator, _, err := query.DecodeToken(rows.Result().Continuation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.PendingResults(coordinator); n != 1 {
+		t.Fatalf("pending before close = %d", n)
+	}
+	if err := rows.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.PendingResults(coordinator); n != 0 {
+		t.Errorf("pending after close = %d, want 0", n)
+	}
+}
+
+func TestThrottledExecAndFetch(t *testing.T) {
+	// Exec and Fetch ride the same frontend slots as Query, so they
+	// throttle identically; Release does not consume a slot.
+	tier, g, c, engine := newTierEngine(t)
+	tier.cfg.MaxInflight = 1
+	tier.inflight = make([]int, tier.cfg.Frontends)
+	p, err := tier.Prepare(c, g, []byte(`{"id": "tom.hanks", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tier.Query(c, g, []byte(`{"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy every frontend slot, then verify each entry point throttles.
+	for fe := 0; fe < tier.cfg.Frontends; fe++ {
+		if _, err := tier.pickFrontend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tier.Exec(c, p, nil); !errors.Is(err, ErrThrottled) {
+		t.Errorf("Exec under load err = %v, want ErrThrottled", err)
+	}
+	if _, err := tier.Fetch(c, res.Continuation); !errors.Is(err, ErrThrottled) {
+		t.Errorf("Fetch under load err = %v, want ErrThrottled", err)
+	}
+	if err := tier.Release(c, res.Continuation); err != nil {
+		t.Errorf("Release under load err = %v, want nil (not throttled)", err)
+	}
+	coordinator, _, _ := query.DecodeToken(res.Continuation)
+	if n := engine.PendingResults(coordinator); n != 0 {
+		t.Errorf("pending after release = %d", n)
+	}
+}
+
+func TestCursorCloseReleasesAfterTransientError(t *testing.T) {
+	// A cursor whose Next failed on a throttled Fetch still holds a live
+	// token; Close must release the coordinator state rather than leak it
+	// until TTL.
+	tier, g, c, engine := newTierEngine(t)
+	rows, err := tier.QueryRows(c, g, []byte(`{"_type": "entity", "str_str_map[kind]": "actor", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && rows.Next(c); i++ { // stay inside page one
+	}
+	// Saturate the frontends so the next page fetch throttles.
+	tier.cfg.MaxInflight = 1
+	for fe := 0; fe < tier.cfg.Frontends; fe++ {
+		if _, err := tier.pickFrontend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rows.Next(c) {
+	}
+	if err := rows.Err(); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("Err = %v, want ErrThrottled", err)
+	}
+	coordinator, _, err := query.DecodeToken(rows.Result().Continuation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.PendingResults(coordinator); n != 1 {
+		t.Fatalf("pending before close = %d", n)
+	}
+	if err := rows.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.PendingResults(coordinator); n != 0 {
+		t.Errorf("pending after close = %d, want 0 (state leaked)", n)
 	}
 }
 

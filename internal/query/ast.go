@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -90,11 +91,14 @@ func parseFieldPath(s string) (FieldPath, error) {
 	return fp, nil
 }
 
-// Predicate compares an attribute against a constant.
+// Predicate compares an attribute against a constant. Param, when set,
+// names the "$param" placeholder the constant is bound from at execution
+// time (Value is zero until then).
 type Predicate struct {
 	Path  FieldPath
 	Op    Op
 	Value bond.Value
+	Param string
 }
 
 // AggKind is a terminal aggregate function.
@@ -149,12 +153,18 @@ type VertexPattern struct {
 	Limit int         // _limit: max rows returned (0 = unbounded)
 	Skip  int         // _skip: rows dropped before the first returned
 	Order *OrderBy    // _orderby: result ordering (nil = unordered)
+
+	// "$param" placeholders bound at execution time.
+	IDParam    string // id
+	LimitParam string // _limit
+	SkipParam  string // _skip
 }
 
 // shaped reports whether the pattern carries result-shaping operators,
 // which are only meaningful on the terminal level.
 func (vp *VertexPattern) shaped() bool {
-	return len(vp.Aggs) > 0 || vp.Limit > 0 || vp.Skip > 0 || vp.Order != nil
+	return len(vp.Aggs) > 0 || vp.Limit > 0 || vp.Skip > 0 || vp.Order != nil ||
+		vp.LimitParam != "" || vp.SkipParam != ""
 }
 
 // Hints carries optional execution hints (paper: A1 has no true optimizer;
@@ -168,6 +178,16 @@ type Hints struct {
 type Query struct {
 	Root  *VertexPattern
 	Hints Hints
+	// ParamNames lists the distinct "$param" placeholders the document
+	// references, sorted; a non-empty list means the query must be bound
+	// before it can run.
+	ParamNames []string
+
+	// fromCache marks executions whose plan came from the engine's plan
+	// cache (or a Prepared handle): the coordinator performs no parse.
+	fromCache bool
+	// bound marks a copy produced by Bind with all placeholders resolved.
+	bound bool
 }
 
 // Parse parses an A1QL JSON document.
@@ -176,13 +196,13 @@ func Parse(doc []byte) (*Query, error) {
 	dec.UseNumber()
 	var raw map[string]interface{}
 	if err := dec.Decode(&raw); err != nil {
-		return nil, fmt.Errorf("a1ql: %w", err)
+		return nil, parseError(fmt.Errorf("a1ql: %w", err))
 	}
 	q := &Query{}
 	if h, ok := raw[keyHints]; ok {
 		hm, ok := h.(map[string]interface{})
 		if !ok {
-			return nil, errors.New("a1ql: _hints must be an object")
+			return nil, parseError(errors.New("a1ql: _hints must be an object"))
 		}
 		if v, ok := hm["no_shipping"].(bool); ok {
 			q.Hints.NoShipping = v
@@ -195,13 +215,90 @@ func Parse(doc []byte) (*Query, error) {
 	}
 	root, err := parseVertexPattern(raw, 0)
 	if err != nil {
-		return nil, err
+		return nil, parseError(err)
 	}
 	q.Root = root
 	if err := validateShaping(root); err != nil {
-		return nil, err
+		return nil, parseError(err)
 	}
+	q.ParamNames = collectParams(root)
 	return q, nil
+}
+
+// paramRef reports whether a JSON string constant is a parameter
+// placeholder ("$name") and returns the name. "$$..." escapes a literal
+// leading dollar sign.
+func paramRef(s string) (string, bool, error) {
+	if !strings.HasPrefix(s, "$") || strings.HasPrefix(s, "$$") {
+		return "", false, nil
+	}
+	name := s[1:]
+	if name == "" {
+		return "", false, errors.New(`a1ql: empty parameter name "$"`)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return "", false, fmt.Errorf("a1ql: bad parameter name %q", s)
+		}
+	}
+	return name, true, nil
+}
+
+// unescapeParam strips the "$$" escape from a literal string constant.
+func unescapeParam(s string) string {
+	if strings.HasPrefix(s, "$$") {
+		return s[1:]
+	}
+	return s
+}
+
+// collectParams gathers the distinct placeholder names of a pattern tree.
+func collectParams(root *VertexPattern) []string {
+	seen := map[string]bool{}
+	var walkEdge func(ep *EdgePattern)
+	var walkVertex func(vp *VertexPattern)
+	add := func(name string) {
+		if name != "" {
+			seen[name] = true
+		}
+	}
+	walkVertex = func(vp *VertexPattern) {
+		if vp == nil {
+			return
+		}
+		add(vp.IDParam)
+		add(vp.LimitParam)
+		add(vp.SkipParam)
+		for _, p := range vp.Preds {
+			add(p.Param)
+		}
+		for _, m := range vp.Matches {
+			walkEdge(m)
+		}
+		walkEdge(vp.Edge)
+	}
+	walkEdge = func(ep *EdgePattern) {
+		if ep == nil {
+			return
+		}
+		for _, p := range ep.Preds {
+			add(p.Param)
+		}
+		walkVertex(ep.Vertex)
+	}
+	walkVertex(root)
+	if len(seen) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // validateShaping rejects result-shaping operators anywhere but the main
@@ -261,7 +358,15 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 			if !ok {
 				return nil, errors.New("a1ql: id must be a string")
 			}
-			vp.ID = s
+			name, isParam, err := paramRef(s)
+			if err != nil {
+				return nil, err
+			}
+			if isParam {
+				vp.IDParam = name
+			} else {
+				vp.ID = unescapeParam(s)
+			}
 		case keyType:
 			s, ok := v.(string)
 			if !ok {
@@ -309,6 +414,12 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 				vp.Selects = append(vp.Selects, fp)
 			}
 		case keyLimit:
+			if name, ok, err := countParam(v); err != nil {
+				return nil, err
+			} else if ok {
+				vp.LimitParam = name
+				continue
+			}
 			n, err := parseCount(k, v)
 			if err != nil {
 				return nil, err
@@ -318,6 +429,12 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 			}
 			vp.Limit = n
 		case keySkip:
+			if name, ok, err := countParam(v); err != nil {
+				return nil, err
+			} else if ok {
+				vp.SkipParam = name
+				continue
+			}
 			n, err := parseCount(k, v)
 			if err != nil {
 				return nil, err
@@ -413,6 +530,15 @@ func parseEdgePattern(raw map[string]interface{}, out bool, depth int) (*EdgePat
 // maxShapeCount bounds _limit and _skip: large enough for any real page,
 // small enough that Limit+Skip (and 2x it) never overflows int.
 const maxShapeCount = 1 << 30
+
+// countParam recognizes a "$param" placeholder in a _limit/_skip position.
+func countParam(v interface{}) (string, bool, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", false, nil
+	}
+	return paramRef(s)
+}
 
 // parseCount extracts a small non-negative integer (_limit/_skip).
 func parseCount(key string, v interface{}) (int, error) {
@@ -515,7 +641,8 @@ func parseOrderBy(v interface{}) (*OrderBy, error) {
 }
 
 // parsePredicate turns `"field": constant` or `"field": {"_gt": constant}`
-// into predicates.
+// into predicates. A constant of the form "$name" is a parameter
+// placeholder bound at execution time.
 func parsePredicate(key string, v interface{}) ([]Predicate, error) {
 	fp, err := parseFieldPath(key)
 	if err != nil {
@@ -528,19 +655,39 @@ func parsePredicate(key string, v interface{}) ([]Predicate, error) {
 			if !ok {
 				return nil, fmt.Errorf("a1ql: unknown operator %q", opName)
 			}
-			val, err := jsonToBond(constant)
+			pred, err := predConstant(fp, op, constant)
 			if err != nil {
 				return nil, err
 			}
-			preds = append(preds, Predicate{Path: fp, Op: op, Value: val})
+			preds = append(preds, pred)
 		}
 		return preds, nil
 	}
-	val, err := jsonToBond(v)
+	pred, err := predConstant(fp, OpEq, v)
 	if err != nil {
 		return nil, err
 	}
-	return []Predicate{{Path: fp, Op: OpEq, Value: val}}, nil
+	return []Predicate{pred}, nil
+}
+
+// predConstant builds one predicate from a JSON constant, recognizing
+// parameter placeholders.
+func predConstant(fp FieldPath, op Op, constant interface{}) (Predicate, error) {
+	if s, ok := constant.(string); ok {
+		name, isParam, err := paramRef(s)
+		if err != nil {
+			return Predicate{}, err
+		}
+		if isParam {
+			return Predicate{Path: fp, Op: op, Param: name}, nil
+		}
+		constant = unescapeParam(s)
+	}
+	val, err := jsonToBond(constant)
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Path: fp, Op: op, Value: val}, nil
 }
 
 // jsonToBond converts a JSON constant to a Bond value.

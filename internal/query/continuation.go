@@ -44,7 +44,7 @@ func decodeToken(token string) (tokenPayload, error) {
 func DecodeToken(token string) (fabric.MachineID, uint64, error) {
 	p, err := decodeToken(token)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, classify(err)
 	}
 	return fabric.MachineID(p.M), p.ID, nil
 }
@@ -82,11 +82,11 @@ func (rc *resultCache) put(c *fabric.Ctx, ttl time.Duration, rows []Row) uint64 
 func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 	p, err := decodeToken(token)
 	if err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	m, id := fabric.MachineID(p.M), p.ID
 	if m != c.M {
-		return nil, fmt.Errorf("%w: token belongs to %v, fetched on %v", ErrBadToken, m, c.M)
+		return nil, classify(fmt.Errorf("%w: token belongs to %v, fetched on %v", ErrBadToken, m, c.M))
 	}
 	pageSize := p.PS
 	if pageSize <= 0 {
@@ -101,7 +101,7 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 	}
 	if !ok {
 		rc.mu.Unlock()
-		return nil, fmt.Errorf("%w: expired; restart the query", ErrBadToken)
+		return nil, classify(fmt.Errorf("%w: expired; restart the query", ErrBadToken))
 	}
 	var page []Row
 	if len(entry.rows) > pageSize {
@@ -118,6 +118,35 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 		res.Continuation = token // same entry, same page size
 	}
 	return res, nil
+}
+
+// Release drops the continuation state behind a token without fetching it
+// — the cursor Close path. Like Fetch it must run on the coordinator that
+// issued the token. Releasing an already-expired or consumed token is not
+// an error.
+func (e *Engine) Release(c *fabric.Ctx, token string) error {
+	p, err := decodeToken(token)
+	if err != nil {
+		return classify(err)
+	}
+	m := fabric.MachineID(p.M)
+	if m != c.M {
+		return classify(fmt.Errorf("%w: token belongs to %v, released on %v", ErrBadToken, m, c.M))
+	}
+	rc := e.caches[c.M]
+	rc.mu.Lock()
+	delete(rc.entries, p.ID)
+	rc.mu.Unlock()
+	return nil
+}
+
+// PendingResults counts live continuation entries cached on machine m —
+// the observable for cursor-release and sweeper tests.
+func (e *Engine) PendingResults(m fabric.MachineID) int {
+	rc := e.caches[m]
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.entries)
 }
 
 // ExpireResults drops timed-out continuation state on machine m (called by

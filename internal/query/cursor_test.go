@@ -1,0 +1,230 @@
+package query
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+	"a1/internal/workload"
+)
+
+// The Rows streaming cursor: multi-page iteration, release-on-close, and
+// expiry surfacing.
+
+func newCursorEnv(t *testing.T, vertices, pageSize int) (*Engine, *core.Graph, *fabric.Ctx) {
+	t.Helper()
+	fab := fabric.New(fabric.DefaultConfig(5, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTenant(c, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateGraph(c, "t", "g"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.OpenGraph(c, "t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := workload.NewUniformGraph(vertices, 0, 3)
+	if err := u.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PageSize = pageSize
+	return NewEngine(s, cfg), g, c
+}
+
+func TestCursorStreamsToExhaustion(t *testing.T) {
+	e, g, c := newCursorEnv(t, 120, 25)
+	rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for rows.Next(c) {
+		id := rows.Row().Values["id"].AsString()
+		if seen[id] {
+			t.Errorf("duplicate row %q", id)
+		}
+		seen[id] = true
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 120 {
+		t.Errorf("streamed %d rows, want 120", len(seen))
+	}
+	if rows.Pages() != 5 {
+		t.Errorf("pages = %d, want 5", rows.Pages())
+	}
+	// Exhaustion consumed the continuation state; Close is a no-op.
+	if n := e.PendingResults(c.M); n != 0 {
+		t.Errorf("pending results after exhaustion = %d", n)
+	}
+	if err := rows.Close(c); err != nil {
+		t.Errorf("close after exhaustion: %v", err)
+	}
+	// Next after exhaustion stays false.
+	if rows.Next(c) {
+		t.Error("Next returned true after exhaustion")
+	}
+}
+
+func TestCursorCloseMidStreamFreesState(t *testing.T) {
+	e, g, c := newCursorEnv(t, 120, 25)
+	rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.PendingResults(c.M); n != 1 {
+		t.Fatalf("pending results after first page = %d, want 1", n)
+	}
+	// Consume a few rows of the first page, then abandon the stream.
+	for i := 0; i < 10 && rows.Next(c); i++ {
+	}
+	if err := rows.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.PendingResults(c.M); n != 0 {
+		t.Errorf("pending results after Close = %d, want 0", n)
+	}
+	if rows.Next(c) {
+		t.Error("Next returned true after Close")
+	}
+	// Double close is safe.
+	if err := rows.Close(c); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestCursorCloseAcrossPages(t *testing.T) {
+	// Closing after the cursor advanced onto a later page releases that
+	// page's token (same cache entry rewritten by Fetch).
+	e, g, c := newCursorEnv(t, 120, 25)
+	rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30 && rows.Next(c); i++ { // 25 first-page rows + 5 of page two
+	}
+	if rows.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", rows.Pages())
+	}
+	if err := rows.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.PendingResults(c.M); n != 0 {
+		t.Errorf("pending results after mid-page-2 Close = %d, want 0", n)
+	}
+}
+
+func TestCursorExpiredTokenSurfacesErr(t *testing.T) {
+	fabr := fabric.New(fabric.DefaultConfig(5, fabric.Direct), nil)
+	f := farm.Open(fabr, farm.Config{RegionSize: 16 << 20})
+	c := fabr.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "t")
+	s.CreateGraph(c, "t", "g")
+	g, err := s.OpenGraph(c, "t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := workload.NewUniformGraph(60, 0, 3)
+	if err := u.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PageSize = 25
+	cfg.ResultTTL = 5 * time.Millisecond
+	e := NewEngine(s, cfg)
+	rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for n < 25 && rows.Next(c) {
+		n++
+	}
+	if n != 25 {
+		t.Fatalf("first page rows = %d", n)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if expired := e.ExpireResults(c); expired == 0 {
+		t.Fatal("sweeper expired nothing")
+	}
+	if rows.Next(c) {
+		t.Error("Next succeeded over an expired token")
+	}
+	if err := rows.Err(); !errors.Is(err, ErrBadToken) {
+		t.Errorf("Err = %v, want ErrBadToken", err)
+	}
+	var qe *Error
+	if !errors.As(rows.Err(), &qe) || qe.Code != CodeBadToken {
+		t.Errorf("Err code = %v, want CodeBadToken", rows.Err())
+	}
+	// Close after a terminal error is a no-op and safe.
+	if err := rows.Close(c); err != nil {
+		t.Errorf("close after error: %v", err)
+	}
+}
+
+func TestCursorOrderedStreamStaysSorted(t *testing.T) {
+	env := newTestEnv(t, 9)
+	cfg := DefaultConfig()
+	cfg.PageSize = 7
+	e := NewEngine(env.store, cfg)
+	rows, err := e.QueryRows(env.c, env.graph, []byte(
+		`{"_type": "entity", "str_str_map[kind]": "actor",
+		  "_select": ["id", "popularity"], "_orderby": "-popularity"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pops []float64
+	for rows.Next(env.c) {
+		pops = append(pops, rows.Row().Values["popularity"].AsFloat())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := workload.TestParams().ActorPool + 1
+	if len(pops) != want {
+		t.Fatalf("streamed %d rows, want %d", len(pops), want)
+	}
+	if rows.Pages() < 2 {
+		t.Fatalf("pages = %d, want multi-page", rows.Pages())
+	}
+	for i := 1; i < len(pops); i++ {
+		if pops[i] > pops[i-1] {
+			t.Errorf("order broken at row %d", i)
+		}
+	}
+}
+
+func TestCursorSinglePageNoContinuation(t *testing.T) {
+	e, g, c := newCursorEnv(t, 10, 25)
+	rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next(c) {
+		n++
+	}
+	if n != 10 || rows.Err() != nil || rows.Pages() != 1 {
+		t.Errorf("n=%d err=%v pages=%d", n, rows.Err(), rows.Pages())
+	}
+	if err := rows.Close(c); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Structured errors: every error the engine surfaces to a client carries a
+// Code so transport layers (cmd/a1server) can map failure classes to
+// protocol-level statuses (400/404/410/413) instead of blanket 500s. The
+// sentinel errors (ErrNoStart, ErrBadToken, ...) stay `errors.Is`-able
+// through the wrapping.
+
+// Code classifies an engine error.
+type Code int
+
+const (
+	// CodeInternal is an unclassified execution failure.
+	CodeInternal Code = iota
+	// CodeParse rejects a malformed A1QL document.
+	CodeParse
+	// CodeBadParam rejects a bad parameter binding (missing, unknown, or
+	// ill-typed bind value).
+	CodeBadParam
+	// CodeNoStart means the root pattern matched no vertex.
+	CodeNoStart
+	// CodeBadToken rejects a malformed or expired continuation token.
+	CodeBadToken
+	// CodeWorkingSet fast-fails queries whose intermediate state outgrew
+	// the coordinator's budget.
+	CodeWorkingSet
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeParse:
+		return "parse"
+	case CodeBadParam:
+		return "bad_param"
+	case CodeNoStart:
+		return "no_start"
+	case CodeBadToken:
+		return "bad_token"
+	case CodeWorkingSet:
+		return "working_set"
+	default:
+		return "internal"
+	}
+}
+
+// Error is a classified query error.
+type Error struct {
+	Code Code
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// classify wraps err with the Code matching its sentinel, leaving
+// already-classified errors untouched.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var qe *Error
+	if errors.As(err, &qe) {
+		return err
+	}
+	switch {
+	case errors.Is(err, ErrNoStart):
+		return &Error{Code: CodeNoStart, Err: err}
+	case errors.Is(err, ErrBadToken):
+		return &Error{Code: CodeBadToken, Err: err}
+	case errors.Is(err, ErrWorkingSet):
+		return &Error{Code: CodeWorkingSet, Err: err}
+	default:
+		return &Error{Code: CodeInternal, Err: err}
+	}
+}
+
+// parseError builds a CodeParse error.
+func parseError(err error) error {
+	var qe *Error
+	if errors.As(err, &qe) {
+		return err
+	}
+	return &Error{Code: CodeParse, Err: err}
+}
+
+// paramError builds a CodeBadParam error.
+func paramError(format string, args ...interface{}) error {
+	return &Error{Code: CodeBadParam, Err: fmt.Errorf("a1ql: "+format, args...)}
+}

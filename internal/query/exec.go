@@ -95,6 +95,10 @@ type Stats struct {
 	// pruned prefixes, so these drop versus shipping the raw rows.
 	RowsShipped  int64
 	BytesShipped int64
+	// PlanCacheHits is 1 when this execution's plan came from the engine's
+	// plan cache (a Prepared.Exec or a repeated document): the coordinator
+	// performed zero parses, and in Sim mode paid no CostParse.
+	PlanCacheHits int64
 }
 
 // Result is a query response page.
@@ -112,6 +116,7 @@ type Engine struct {
 	store  *core.Store
 	cfg    Config
 	caches []*resultCache // per machine (coordinator-cached continuations)
+	plans  *planCache     // parsed ASTs keyed by document hash
 }
 
 // NewEngine creates an engine over a store.
@@ -125,7 +130,7 @@ func NewEngine(store *core.Store, cfg Config) *Engine {
 	if cfg.ResultTTL == 0 {
 		cfg.ResultTTL = DefaultConfig().ResultTTL
 	}
-	e := &Engine{store: store, cfg: cfg}
+	e := &Engine{store: store, cfg: cfg, plans: newPlanCache()}
 	e.caches = make([]*resultCache, store.Farm().Fabric().Machines())
 	for i := range e.caches {
 		e.caches[i] = newResultCache()
@@ -136,22 +141,49 @@ func NewEngine(store *core.Store, cfg Config) *Engine {
 // Store returns the engine's graph store.
 func (e *Engine) Store() *core.Store { return e.store }
 
-// Execute parses and runs an A1QL document. The calling context's machine
-// is the query coordinator.
+// Execute runs an A1QL document. The calling context's machine is the
+// query coordinator. Plans are served from the engine's plan cache when
+// the identical document was executed (or prepared) before — a cache hit
+// performs zero parses. Documents with "$param" placeholders must go
+// through Prepare/Exec; executing one directly fails with CodeBadParam.
 func (e *Engine) Execute(c *fabric.Ctx, g *core.Graph, doc []byte) (*Result, error) {
-	q, err := Parse(doc)
+	q, cached, err := e.plan(doc, true)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(c, g, q)
+	bound, err := q.Bind(nil)
+	if err != nil {
+		return nil, err
+	}
+	if bound == q {
+		// Never write on the shared cached plan — concurrent executions of
+		// the same document read it.
+		copied := *q
+		bound = &copied
+	}
+	bound.fromCache = cached
+	return e.Run(c, g, bound)
 }
 
 // Run executes a parsed query.
 func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
+	res, err := e.run(c, g, q)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return res, nil
+}
+
+func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
+	if len(q.ParamNames) > 0 && !q.bound {
+		return nil, paramError("unbound parameter $%s", q.ParamNames[0])
+	}
 	var ops fabric.OpStats
 	qc := c.WithStats(&ops)
 	start := qc.Now()
-	qc.Work(e.cfg.CostParse)
+	if !q.fromCache {
+		qc.Work(e.cfg.CostParse)
+	}
 
 	// The coordinator picks the snapshot timestamp all workers will read
 	// at; versions at that snapshot are pinned until the query completes.
@@ -263,6 +295,9 @@ func (e *Engine) Run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 
 	res.Stats = st.snapshotStats(&ops)
 	res.Stats.Elapsed = qc.Now() - start
+	if q.fromCache {
+		res.Stats.PlanCacheHits = 1
+	}
 	return res, nil
 }
 
@@ -389,6 +424,15 @@ func (st *execState) resolveStart(tx *farm.Tx, root *VertexPattern) ([]core.Vert
 			return nil, err
 		}
 	}
+	// Try a secondary-index range scan for inequality predicates: the
+	// index B-trees are ordered, so `{"f": {"_ge": lo, "_lt": hi}}` reads
+	// only the matching key range instead of the whole type. Bounds are
+	// coerced (widening) to the field's stored kind; every predicate is
+	// still re-evaluated per vertex, so the frontier may over-approximate
+	// but never misses.
+	if hits, served, err := st.rangeStart(tx, root); served {
+		return hits, err
+	}
 	// Full primary-index scan of the type. When the root is an unfiltered,
 	// unordered terminal with a _limit, any K vertices of the type answer
 	// the query — stop scanning as soon as enough are found.
@@ -405,6 +449,46 @@ func (st *execState) resolveStart(tx *farm.Tx, root *VertexPattern) ([]core.Vert
 	return hits, err
 }
 
+// rangeStart attempts to serve the root frontier from a secondary-index
+// range scan. served=false means no usable indexed range predicate exists
+// and the caller should fall back to a full type scan.
+func (st *execState) rangeStart(tx *farm.Tx, root *VertexPattern) ([]core.VertexPtr, bool, error) {
+	specs := rangeSpecs(root.Preds)
+	if len(specs) == 0 {
+		return nil, false, nil
+	}
+	schema, err := st.graph.VertexTypeSchema(tx.Ctx(), root.Type)
+	if err != nil {
+		// Unknown type: let the full scan surface the error.
+		return nil, false, nil
+	}
+	for _, spec := range specs {
+		f, ok := schema.FieldByName(spec.field)
+		if !ok {
+			continue
+		}
+		lo, loInc, hi, hiInc, ok, empty := coerceRange(spec, f.Type.Kind)
+		if !ok {
+			continue
+		}
+		if empty {
+			return nil, true, nil
+		}
+		var hits []core.VertexPtr
+		err := st.graph.IndexRangeScanBounds(tx, root.Type, spec.field, lo, loInc, hi, hiInc, func(vp core.VertexPtr) bool {
+			hits = append(hits, vp)
+			return true
+		})
+		if err == nil {
+			return hits, true, nil
+		}
+		if !errors.Is(err, core.ErrNotFound) {
+			return nil, true, err
+		}
+	}
+	return nil, false, nil
+}
+
 // levelOutput is the merged product of one hop.
 type levelOutput struct {
 	next []core.VertexPtr
@@ -412,10 +496,44 @@ type levelOutput struct {
 	aggs []aggState // partial aggregates, parallel to the level's Aggs
 }
 
-// replyBytes approximates the wire size of one batch's reply: fat pointers
-// for the next frontier, projected rows, and scalar aggregate partials.
+// ptrWireBytes is the encoded size of a fat pointer (addr + size).
+const ptrWireBytes = 12
+
+// wireBytes is the Bond-encoded width of one row on the wire: the vertex
+// fat pointer, each projected value (field name + compact-binary value),
+// and the resolved _orderby key when present.
+func (r *Row) wireBytes() int {
+	n := ptrWireBytes
+	for k, v := range r.Values {
+		n += len(k) + len(bond.Marshal(v))
+	}
+	if r.hasKey {
+		n += len(bond.Marshal(r.key))
+	}
+	return n
+}
+
+// wireBytes is the encoded width of one aggregate partial: count, the two
+// running sums, the fraction flag, and the min/max value when present.
+func (a *aggState) wireBytes() int {
+	n := 17
+	if a.seenMM {
+		n += len(bond.Marshal(a.mm))
+	}
+	return n
+}
+
+// replyBytes is the wire size of one batch's reply: fat pointers for the
+// next frontier, Bond-encoded projected rows, and aggregate partials.
 func (o *levelOutput) replyBytes() int {
-	return len(o.next)*12 + len(o.rows)*64 + len(o.aggs)*24
+	n := len(o.next) * ptrWireBytes
+	for i := range o.rows {
+		n += o.rows[i].wireBytes()
+	}
+	for i := range o.aggs {
+		n += o.aggs[i].wireBytes()
+	}
+	return n
 }
 
 // execLevel partitions the frontier by primary host and executes the
@@ -445,14 +563,16 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 		ship := !st.hints.NoShipping && m != cc.M && len(batch) >= st.engine.cfg.ShipThreshold
 		var out *levelOutput
 		var err error
+		var rb int
 		if ship {
-			reqBytes := len(batch)*12 + 128
+			reqBytes := len(batch)*ptrWireBytes + 128
 			err = cc.RPC(m, reqBytes, func(sc *fabric.Ctx) (int, error) {
 				out, err = st.execBatch(sc, batch, level, terminal)
 				if err != nil {
 					return 0, err
 				}
-				return out.replyBytes(), nil
+				rb = out.replyBytes()
+				return rb, nil
 			})
 		} else {
 			out, err = st.execBatch(cc, batch, level, terminal)
@@ -468,7 +588,7 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 		if ship {
 			st.mu.Lock()
 			st.stats.RowsShipped += int64(len(out.rows))
-			st.stats.BytesShipped += int64(out.replyBytes())
+			st.stats.BytesShipped += int64(rb)
 			st.mu.Unlock()
 		}
 		merged.next = append(merged.next, out.next...)

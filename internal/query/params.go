@@ -1,0 +1,216 @@
+package query
+
+import (
+	"encoding/json"
+
+	"a1/internal/bond"
+)
+
+// Parameter binding: a parsed document may reference "$name" placeholders
+// in `id`, predicate constants, and `_limit`/`_skip`. Binding substitutes
+// concrete values into a copy of the cached AST — the shared plan is never
+// mutated, so one Prepared handle serves concurrent executions.
+
+// Params maps parameter names to bind values. Values may be Go natives
+// (string, bool, int, int64, float64, nil), json.Number, []interface{}, or
+// bond.Value directly.
+type Params map[string]interface{}
+
+// bondParam converts one bind value to a Bond value.
+func bondParam(name string, v interface{}) (bond.Value, error) {
+	switch x := v.(type) {
+	case bond.Value:
+		return x, nil
+	case int:
+		return bond.Int64(int64(x)), nil
+	case int64:
+		return bond.Int64(x), nil
+	case float64:
+		return bond.Double(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return bond.Int64(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return bond.Null, paramError("parameter $%s: %v", name, err)
+		}
+		return bond.Double(f), nil
+	case nil, bool, string, []interface{}:
+		bv, err := jsonToBond(v)
+		if err != nil {
+			return bond.Null, paramError("parameter $%s: %v", name, err)
+		}
+		return bv, nil
+	default:
+		return bond.Null, paramError("parameter $%s: unsupported bind type %T", name, v)
+	}
+}
+
+// Bind resolves the query's placeholders against params and returns an
+// executable copy. Queries without placeholders are returned as-is (the
+// cached AST is read-only at execution time). Missing and unreferenced
+// parameters are both errors, so typos fail loudly.
+func (q *Query) Bind(params Params) (*Query, error) {
+	if len(q.ParamNames) == 0 {
+		if len(params) > 0 {
+			return nil, paramError("query declares no parameters, got %d bind values", len(params))
+		}
+		return q, nil
+	}
+	vals := make(map[string]bond.Value, len(params))
+	for name, v := range params {
+		bv, err := bondParam(name, v)
+		if err != nil {
+			return nil, err
+		}
+		vals[name] = bv
+	}
+	for name := range vals {
+		known := false
+		for _, n := range q.ParamNames {
+			if n == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, paramError("unknown parameter $%s", name)
+		}
+	}
+	b := binder{vals: vals}
+	root, err := b.vertex(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Root: root, Hints: q.Hints, ParamNames: q.ParamNames, fromCache: q.fromCache, bound: true}, nil
+}
+
+type binder struct {
+	vals map[string]bond.Value
+}
+
+func (b *binder) value(name string) (bond.Value, error) {
+	v, ok := b.vals[name]
+	if !ok {
+		return bond.Null, paramError("unbound parameter $%s", name)
+	}
+	return v, nil
+}
+
+func (b *binder) vertex(vp *VertexPattern) (*VertexPattern, error) {
+	if vp == nil {
+		return nil, nil
+	}
+	out := *vp
+	if vp.IDParam != "" {
+		v, err := b.value(vp.IDParam)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() != bond.KindString {
+			return nil, paramError("parameter $%s: id requires a string, got %v", vp.IDParam, v.Kind())
+		}
+		out.ID = v.AsString()
+	}
+	if vp.LimitParam != "" {
+		n, err := b.count(vp.LimitParam)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, paramError("parameter $%s: _limit must be >= 1", vp.LimitParam)
+		}
+		out.Limit = n
+	}
+	if vp.SkipParam != "" {
+		n, err := b.count(vp.SkipParam)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, paramError("parameter $%s: _skip must be >= 0", vp.SkipParam)
+		}
+		out.Skip = n
+	}
+	var err error
+	if out.Preds, err = b.preds(vp.Preds); err != nil {
+		return nil, err
+	}
+	if out.Edge, err = b.edge(vp.Edge); err != nil {
+		return nil, err
+	}
+	if len(vp.Matches) > 0 {
+		out.Matches = make([]*EdgePattern, len(vp.Matches))
+		for i, m := range vp.Matches {
+			if out.Matches[i], err = b.edge(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &out, nil
+}
+
+func (b *binder) edge(ep *EdgePattern) (*EdgePattern, error) {
+	if ep == nil {
+		return nil, nil
+	}
+	out := *ep
+	var err error
+	if out.Preds, err = b.preds(ep.Preds); err != nil {
+		return nil, err
+	}
+	if out.Vertex, err = b.vertex(ep.Vertex); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (b *binder) preds(preds []Predicate) ([]Predicate, error) {
+	if len(preds) == 0 {
+		return preds, nil
+	}
+	out := make([]Predicate, len(preds))
+	copy(out, preds)
+	for i := range out {
+		if out[i].Param == "" {
+			continue
+		}
+		v, err := b.value(out[i].Param)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Value = v
+	}
+	return out, nil
+}
+
+func (b *binder) count(name string) (int, error) {
+	v, err := b.value(name)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	switch v.Kind() {
+	case bond.KindInt32, bond.KindInt64:
+		n = v.AsInt()
+	case bond.KindUInt64:
+		u := v.AsUint()
+		if u > maxShapeCount {
+			return 0, paramError("parameter $%s: must be <= %d", name, maxShapeCount)
+		}
+		n = int64(u)
+	case bond.KindDouble, bond.KindFloat:
+		f := v.AsFloat()
+		n = int64(f)
+		if f != float64(n) {
+			return 0, paramError("parameter $%s: must be an integer", name)
+		}
+	default:
+		return 0, paramError("parameter $%s: must be an integer, got %v", name, v.Kind())
+	}
+	if n > maxShapeCount {
+		return 0, paramError("parameter $%s: must be <= %d", name, maxShapeCount)
+	}
+	return int(n), nil
+}

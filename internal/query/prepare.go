@@ -1,0 +1,154 @@
+package query
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"a1/internal/core"
+	"a1/internal/fabric"
+)
+
+// Prepared queries and the engine-side plan cache (paper §2.2 motivation:
+// frontends parse and plan the same query shapes on every request; caching
+// the parsed AST keyed by document hash removes that work). Both entry
+// points share the cache: Execute consults it transparently, and Prepare
+// returns a handle that re-executes with new bind values and zero parses.
+
+// planCacheCap bounds the cache; eviction is FIFO (query workloads are a
+// small set of shapes executed many times, so recency hardly matters).
+const planCacheCap = 1024
+
+type planEntry struct {
+	doc string // full document, compared on lookup so hash collisions miss
+	q   *Query
+}
+
+type planCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*planEntry
+	order   []uint64 // insertion order for FIFO eviction
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[uint64]*planEntry)}
+}
+
+func docHash(doc []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(doc)
+	return h.Sum64()
+}
+
+// lookup finds a cached plan; the caller accounts hits/misses (a hit is
+// counted per *execution* served without a parse, so Prepare lookups stay
+// silent and Bind counts instead).
+func (pc *planCache) lookup(doc []byte) (*Query, bool) {
+	key := docHash(doc)
+	pc.mu.Lock()
+	e, ok := pc.entries[key]
+	pc.mu.Unlock()
+	if ok && e.doc == string(doc) {
+		return e.q, true
+	}
+	return nil, false
+}
+
+func (pc *planCache) store(doc []byte, q *Query) {
+	key := docHash(doc)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, ok := pc.entries[key]; ok {
+		pc.entries[key] = &planEntry{doc: string(doc), q: q}
+		return
+	}
+	for len(pc.entries) >= planCacheCap {
+		oldest := pc.order[0]
+		pc.order = pc.order[1:]
+		delete(pc.entries, oldest)
+	}
+	pc.entries[key] = &planEntry{doc: string(doc), q: q}
+	pc.order = append(pc.order, key)
+}
+
+// plan resolves a document to a parsed query through the cache. cached
+// reports whether the plan was served without parsing. countHit is true
+// for execution paths (Execute); Prepare passes false because its hits
+// are counted per Exec by Bind, so one prepared execution never counts
+// twice.
+func (e *Engine) plan(doc []byte, countHit bool) (q *Query, cached bool, err error) {
+	if q, ok := e.plans.lookup(doc); ok {
+		if countHit {
+			e.plans.hits.Add(1)
+		}
+		return q, true, nil
+	}
+	e.plans.misses.Add(1)
+	q, err = Parse(doc)
+	if err != nil {
+		return nil, false, err
+	}
+	e.plans.store(doc, q)
+	return q, false, nil
+}
+
+// PlanCacheStats reports engine-wide plan cache hits and misses.
+func (e *Engine) PlanCacheStats() (hits, misses int64) {
+	return e.plans.hits.Load(), e.plans.misses.Load()
+}
+
+// Prepared is a parsed, validated query bound to a graph: Exec runs it
+// with fresh bind values and no parsing. Handles are safe for concurrent
+// use.
+type Prepared struct {
+	engine *Engine
+	graph  *core.Graph
+	q      *Query
+}
+
+// Prepare parses and validates an A1QL document once, caching the plan.
+// Re-preparing an identical document reuses the cached AST.
+func (e *Engine) Prepare(c *fabric.Ctx, g *core.Graph, doc []byte) (*Prepared, error) {
+	q, _, err := e.plan(doc, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{engine: e, graph: g, q: q}, nil
+}
+
+// ParamNames lists the placeholders the document references, sorted.
+func (p *Prepared) ParamNames() []string { return p.q.ParamNames }
+
+// Graph returns the graph the statement was prepared against.
+func (p *Prepared) Graph() *core.Graph { return p.graph }
+
+// Bind resolves placeholders and returns the executable query; the calling
+// layer (engine or frontend tier) chooses where it runs.
+func (p *Prepared) Bind(params Params) (*Query, error) {
+	bound, err := p.q.Bind(params)
+	if err != nil {
+		return nil, err
+	}
+	// Exec never parses — the plan was built at Prepare time — so every
+	// execution counts as served-from-cache even if Bind returned the
+	// shared AST itself (parameterless statement).
+	if bound == p.q {
+		copied := *p.q
+		bound = &copied
+	}
+	bound.fromCache = true
+	p.engine.plans.hits.Add(1)
+	return bound, nil
+}
+
+// Exec binds params and runs the statement with the calling context's
+// machine as coordinator.
+func (p *Prepared) Exec(c *fabric.Ctx, params Params) (*Result, error) {
+	bound, err := p.Bind(params)
+	if err != nil {
+		return nil, err
+	}
+	return p.engine.Run(c, p.graph, bound)
+}

@@ -26,11 +26,7 @@ func simNew(t *testing.T, machines int) *simCluster {
 	return &simCluster{env: env, fab: fab, farm: f}
 }
 
-// Run adapters so test code can take simProc instead of *sim.Proc.
-type simRunner interface {
-	Run(fn func(p *sim.Proc))
-}
-
+// run adapts Env.Run so test code can take simProc instead of *sim.Proc.
 func (sc *simCluster) run(fn func(p simProc)) {
 	sc.env.Run(func(p *sim.Proc) { fn(simProc{p: p}) })
 }
