@@ -68,6 +68,8 @@ type (
 	Field = bond.Field
 	// Result is a query response page.
 	Result = query.Result
+	// GroupRow is one `_groupby` result group (key values + aggregates).
+	GroupRow = query.GroupRow
 	// QueryStats describes a query's execution.
 	QueryStats = query.Stats
 	// Params carries bind values for a parameterized query ("$name"
@@ -379,6 +381,16 @@ func (pq *PreparedQuery) Exec(c *Ctx, params Params) (*Result, error) {
 // ExecRows binds params and returns a streaming cursor over the result.
 func (pq *PreparedQuery) ExecRows(c *Ctx, params Params) (*Rows, error) {
 	return pq.db.tier.ExecRows(c, pq.p, params)
+}
+
+// Explain renders the compiled operator tree for an A1QL document without
+// executing it: the frontier source (IDLookup / IndexScan /
+// OrderedIndexScan / IndexRangeScan / TypeScan), per-level filters and
+// index pushdown, traversals, and terminal shaping/grouping. Index-using
+// operators are resolved against the graph's live catalog, so the printed
+// operator is the one that will run.
+func (db *DB) Explain(c *Ctx, g *Graph, doc string) (string, error) {
+	return db.engine.Explain(c, g, []byte(doc))
 }
 
 // Fetch retrieves the next page behind a continuation token.

@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"ablations", "edge-spill / shipping / placement design ablations", bench.Ablations},
 	{"pushdown", "result-shaping pushdown: _limit / aggregate scalar shipping wins", single(bench.Pushdown)},
 	{"plancache", "prepared statements: parse-once plan cache vs per-request parsing", single(bench.PlanCache)},
+	{"groupby", "grouped-aggregate pushdown vs coordinator-side grouping", single(bench.GroupBy)},
 }
 
 func main() {

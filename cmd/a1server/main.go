@@ -48,8 +48,14 @@ type server struct {
 type queryResponse struct {
 	Count        *int64              `json:"count,omitempty"`
 	Rows         []map[string]string `json:"rows,omitempty"`
+	Groups       []groupJSON         `json:"groups,omitempty"`
 	Continuation string              `json:"continuation,omitempty"`
 	Stats        statsJSON           `json:"stats"`
+}
+
+type groupJSON struct {
+	Key        map[string]string `json:"key"`
+	Aggregates map[string]string `json:"aggregates"`
 }
 
 type statsJSON struct {
@@ -88,6 +94,19 @@ func toResponse(res *a1.Result) queryResponse {
 			m[k] = v.String()
 		}
 		out.Rows = append(out.Rows, m)
+	}
+	for _, gr := range res.Groups {
+		g := groupJSON{
+			Key:        make(map[string]string, len(gr.Keys)),
+			Aggregates: make(map[string]string, len(gr.Aggregates)),
+		}
+		for k, v := range gr.Keys {
+			g.Key[k] = v.String()
+		}
+		for k, v := range gr.Aggregates {
+			g.Aggregates[k] = v.String()
+		}
+		out.Groups = append(out.Groups, g)
 	}
 	return out
 }

@@ -19,7 +19,7 @@
 // re-running a shape (with the same or different bindings) skips the
 // parse; the stats line shows [plan cache hit] when it did.
 //
-// Shell commands: :help :let :unlet :stats :examples :quit
+// Shell commands: :help :let :unlet :explain :stats :examples :quit
 package main
 
 import (
@@ -123,6 +123,9 @@ type shell struct {
 	db       *a1.DB
 	g        *a1.Graph
 	bindings a1.Params
+	// explainNext makes the next entered document print its compiled
+	// operator tree instead of executing (set by :explain).
+	explainNext bool
 }
 
 // looksComplete reports whether braces balance (cheap multi-line check).
@@ -148,10 +151,27 @@ func looksComplete(s string) bool {
 	return depth <= 0 && strings.Contains(s, "{")
 }
 
+// explainQuery prints the compiled operator tree for a document.
+func (sh *shell) explainQuery(doc string) {
+	sh.db.Run(func(c *a1.Ctx) {
+		plan, err := sh.db.Explain(c, sh.g, doc)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Print(plan)
+	})
+}
+
 // runQuery prepares the document (plan cache), binds the shell's :let
 // values, and streams the result through a Rows cursor — no manual Fetch
 // paging.
 func (sh *shell) runQuery(doc string) {
+	if sh.explainNext {
+		sh.explainNext = false
+		sh.explainQuery(doc)
+		return
+	}
 	sh.db.Run(func(c *a1.Ctx) {
 		pq, err := sh.db.Prepare(c, sh.g, doc)
 		if err != nil {
@@ -187,31 +207,55 @@ func (sh *shell) runQuery(doc string) {
 				fmt.Printf("  %s = %v\n", k, res.Aggregates[k])
 			}
 		}
-		printed := 0
-		truncated := false
-		for rows.Next(c) {
-			if printed >= maxPrintRows {
-				truncated = true
-				break
-			}
-			row := rows.Row()
-			if len(row.Values) == 0 {
-				fmt.Printf("  %v\n", row.Vertex.Addr)
-			} else {
-				var parts []string
-				for k, v := range row.Values {
-					parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+		if len(res.Groups) > 0 {
+			// Grouped results: the Rows cursor iterates rows only, so drive
+			// the group pages through Fetch ourselves, releasing any
+			// remainder when the print cap cuts the stream short.
+			printed, truncated := 0, false
+			printGroups(res.Groups, &printed, &truncated)
+			token := res.Continuation
+			for token != "" && !truncated {
+				page, err := sh.db.Fetch(c, token)
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					return
 				}
-				fmt.Printf("  %s\n", strings.Join(parts, "  "))
+				printGroups(page.Groups, &printed, &truncated)
+				token = page.Continuation
 			}
-			printed++
-		}
-		if err := rows.Err(); err != nil {
-			fmt.Printf("error: %v\n", err)
-			return
-		}
-		if truncated {
-			fmt.Printf("... output capped at %d rows (cursor closed; add _limit to shape the result)\n", maxPrintRows)
+			if token != "" {
+				_ = sh.db.Release(c, token)
+			}
+			if truncated {
+				fmt.Printf("... group output capped at %d (add _limit to shape the result)\n", maxPrintRows)
+			}
+		} else {
+			printed := 0
+			truncated := false
+			for rows.Next(c) {
+				if printed >= maxPrintRows {
+					truncated = true
+					break
+				}
+				row := rows.Row()
+				if len(row.Values) == 0 {
+					fmt.Printf("  %v\n", row.Vertex.Addr)
+				} else {
+					var parts []string
+					for k, v := range row.Values {
+						parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+					}
+					fmt.Printf("  %s\n", strings.Join(parts, "  "))
+				}
+				printed++
+			}
+			if err := rows.Err(); err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			if truncated {
+				fmt.Printf("... output capped at %d rows (cursor closed; add _limit to shape the result)\n", maxPrintRows)
+			}
 		}
 		s := res.Stats
 		cacheNote := ""
@@ -221,6 +265,35 @@ func (sh *shell) runQuery(doc string) {
 		fmt.Printf("(%d hops, %d vertices, %d objects read, %.0f%% local, %d rpcs%s)\n",
 			s.Hops, s.VerticesRead, s.ObjectsRead, s.LocalFrac*100, s.RPCs, cacheNote)
 	})
+}
+
+// printGroups renders group rows up to the print cap, flagging truncation.
+func printGroups(groups []a1.GroupRow, printed *int, truncated *bool) {
+	for _, gr := range groups {
+		if *printed >= maxPrintRows {
+			*truncated = true
+			return
+		}
+		var parts []string
+		keys := make([]string, 0, len(gr.Keys))
+		for k := range gr.Keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, gr.Keys[k]))
+		}
+		aggs := make([]string, 0, len(gr.Aggregates))
+		for k := range gr.Aggregates {
+			aggs = append(aggs, k)
+		}
+		sort.Strings(aggs)
+		for _, k := range aggs {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, gr.Aggregates[k]))
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, "  "))
+		*printed++
+	}
 }
 
 func (sh *shell) command(cmd string) bool {
@@ -236,6 +309,14 @@ func (sh *shell) command(cmd string) bool {
 			break
 		}
 		delete(sh.bindings, fields[1])
+	case ":explain":
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cmd), ":explain"))
+		if rest != "" {
+			sh.explainQuery(rest)
+			break
+		}
+		sh.explainNext = true
+		fmt.Println("explain armed: the next document prints its operator tree instead of executing")
 	case ":stats":
 		m := &sh.db.Fabric().Metrics
 		hits, misses := sh.db.Engine().PlanCacheStats()
@@ -254,6 +335,8 @@ func (sh *shell) command(cmd string) bool {
 		fmt.Println(bench.QTopFilms)
 		fmt.Println("-- aggregates: stats over Spielberg's filmography (_sum/_min/_max/_avg)")
 		fmt.Println(bench.QFilmStats)
+		fmt.Println("-- grouped aggregates: Spielberg's films per release year (_groupby)")
+		fmt.Println(bench.QFilmsByYear)
 		fmt.Println("-- parameters: bind with :let, then reference \"$name\" (prepared once, re-run cheaply)")
 		fmt.Println(`:let director "steven.spielberg"`)
 		fmt.Println(`:let k 5`)
@@ -262,6 +345,7 @@ func (sh *shell) command(cmd string) bool {
 		fmt.Println(":let               list parameter bindings")
 		fmt.Println(":let name value    bind $name (value is JSON: 42, 3.5, \"str\", true)")
 		fmt.Println(":unlet name        remove a binding")
+		fmt.Println(":explain [doc]     print the compiled operator tree (no doc: applies to the next document)")
 		fmt.Println(":stats             cluster + fabric + plan cache counters")
 		fmt.Println(":examples          the paper's Table 2 queries plus shaping/parameter examples")
 		fmt.Println(":quit              exit")

@@ -85,6 +85,18 @@ const (
 	QActorFilmsParam = `{ "id" : "$who",
   "_out_edge" : { "_type" : "actor.film",
     "_vertex" : { "_select" : ["_count(*)"] }}}`
+
+	// QFilmsByYear: every film grouped by release year — workers ship
+	// per-group partial states (count + avg partials per year), never rows.
+	QFilmsByYear = `{ "_type" : "entity", "str_str_map[kind]" : "film",
+  "_groupby" : "str_str_map[year]",
+  "_select" : ["_count(*)", "_avg(popularity)"] }`
+
+	// QFilmsByYearRows: the row-shipping twin of QFilmsByYear — the same
+	// grouping computed client-side from shipped rows, the baseline the
+	// groupby report compares against.
+	QFilmsByYearRows = `{ "_type" : "entity", "str_str_map[kind]" : "film",
+  "_select" : ["str_str_map[year]", "popularity"] }`
 )
 
 // Scale selects experiment sizing.

@@ -279,3 +279,29 @@ func TestMeasureRateAccounting(t *testing.T) {
 		t.Error("no vertex reads accounted")
 	}
 }
+
+func TestGroupByMeasurement(t *testing.T) {
+	r, err := GroupBy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	base, push := r.Rows[0], r.Rows[1]
+	// Both strategies find the same group structure.
+	if base[1] != push[1] || push[1] <= 1 {
+		t.Errorf("groups: baseline %v vs pushdown %v", base[1], push[1])
+	}
+	// Pushdown ships partial states, never rows; the baseline ships every
+	// row.
+	if push[2] != 0 {
+		t.Errorf("pushdown shipped %v rows, want 0", push[2])
+	}
+	if base[2] == 0 {
+		t.Error("baseline shipped no rows; shipping not engaged")
+	}
+	if push[3] >= base[3] {
+		t.Errorf("pushdown bytes %v >= baseline bytes %v", push[3], base[3])
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"time"
+
+	"a1"
+	"a1/internal/bond"
+)
+
+// GroupBy measures grouped-aggregate pushdown: the same per-year film
+// statistics computed either by `_groupby` (workers reduce their batches
+// to per-group partial states; only ⟨key, partials⟩ pairs cross the
+// fabric) or by shipping the raw rows and grouping at the client — the
+// §3.4 ship-operators-to-data argument applied to aggregation. The
+// RowsShipped / BytesShipped columns make the win observable at any scale.
+func GroupBy(spec Spec) (*Report, error) {
+	k, err := NewKGCluster(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer k.DB.Close()
+
+	warm(k.DB, k.G, QFilmsByYear, QFilmsByYearRows)
+
+	r := &Report{
+		ID:     "groupby",
+		Title:  "grouped-aggregate pushdown vs coordinator-side grouping (all films per release year)",
+		Header: []string{"pushdown(1)", "groups", "rows_shipped", "bytes_shipped", "avg_us"},
+	}
+
+	const iters = 20
+	run := func(pushdown bool) error {
+		var groups int
+		var rowsShipped, bytesShipped int64
+		var total time.Duration
+		var execErr error
+		k.DB.Run(func(c *a1.Ctx) {
+			for i := 0; i < iters; i++ {
+				t0 := c.Now()
+				if pushdown {
+					res, err := k.DB.Query(c, k.G, QFilmsByYear)
+					if err != nil {
+						execErr = err
+						return
+					}
+					groups = len(res.Groups)
+					rowsShipped += res.Stats.RowsShipped
+					bytesShipped += res.Stats.BytesShipped
+				} else {
+					// Baseline: ship every row, group at the client.
+					res, err := k.DB.Query(c, k.G, QFilmsByYearRows)
+					if err != nil {
+						execErr = err
+						return
+					}
+					byYear := map[string]int{}
+					for _, row := range res.Rows {
+						y, ok := row.Values["str_str_map[year]"]
+						if !ok {
+							y = bond.Null
+						}
+						byYear[y.String()]++
+					}
+					groups = len(byYear)
+					rowsShipped += res.Stats.RowsShipped
+					bytesShipped += res.Stats.BytesShipped
+				}
+				total += c.Now() - t0
+			}
+		})
+		if execErr != nil {
+			return execErr
+		}
+		flag := 0.0
+		if pushdown {
+			flag = 1
+		}
+		r.Add(flag, float64(groups), float64(rowsShipped)/iters, float64(bytesShipped)/iters,
+			float64(total.Microseconds())/iters)
+		return nil
+	}
+
+	if err := run(false); err != nil {
+		return nil, err
+	}
+	if err := run(true); err != nil {
+		return nil, err
+	}
+	if len(r.Rows) == 2 {
+		base, push := r.Rows[0], r.Rows[1]
+		if push[2] != 0 {
+			r.Note("pushdown shipped %v rows, want 0 (partial states only)", push[2])
+		} else if base[3] > 0 && push[3] > 0 {
+			r.Note("pushdown ships %.0f bytes/query vs %.0f row-shipping (%.1fx less); 0 rows cross the fabric",
+				push[3], base[3], base[3]/push[3])
+		}
+	}
+	return r, nil
+}

@@ -437,6 +437,79 @@ func TestIndexRangeScan(t *testing.T) {
 	}
 }
 
+func TestIndexRangeScanDescending(t *testing.T) {
+	_, g, c := testGraph(t, 5)
+	origins := []string{"argentina", "brazil", "chile", "denmark", "ecuador", "france"}
+	for i, origin := range origins {
+		mustCreateVertex(t, g, c, "actor", actorVal(fmt.Sprintf("r%d", i), origin))
+	}
+	rtx := g.store.farm.CreateReadTransaction(c)
+	readOrigin := func(vp VertexPtr) string {
+		v, err := g.ReadVertex(rtx, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ := v.Data.Field(1)
+		return o.AsString()
+	}
+	// Unbounded descending scan visits every entry high to low.
+	var desc []string
+	err := g.IndexRangeScanBoundsDir(rtx, "actor", "origin", bond.Null, false, bond.Null, false, true, func(_ []byte, vp VertexPtr) bool {
+		desc = append(desc, readOrigin(vp))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"france", "ecuador", "denmark", "chile", "brazil", "argentina"}
+	if len(desc) != len(want) {
+		t.Fatalf("desc scan visited %d, want %d", len(desc), len(want))
+	}
+	for i := range want {
+		if desc[i] != want[i] {
+			t.Fatalf("desc scan order = %v, want %v", desc, want)
+		}
+	}
+	// Bounded descending: [brazil, ecuador) high to low.
+	desc = nil
+	err = g.IndexRangeScanBoundsDir(rtx, "actor", "origin", bond.String("brazil"), true, bond.String("ecuador"), false, true, func(_ []byte, vp VertexPtr) bool {
+		desc = append(desc, readOrigin(vp))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 3 || desc[0] != "denmark" || desc[2] != "brazil" {
+		t.Errorf("bounded desc scan = %v, want [denmark chile brazil]", desc)
+	}
+	// Early stop: the reverse walk reads only the high end.
+	desc = nil
+	err = g.IndexRangeScanBoundsDir(rtx, "actor", "origin", bond.Null, false, bond.Null, false, true, func(_ []byte, vp VertexPtr) bool {
+		desc = append(desc, readOrigin(vp))
+		return len(desc) < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 2 || desc[0] != "france" || desc[1] != "ecuador" {
+		t.Errorf("early-stop desc scan = %v, want [france ecuador]", desc)
+	}
+	// desc=false through the same entry point matches the forward scan.
+	var asc []string
+	err = g.IndexRangeScanBoundsDir(rtx, "actor", "origin", bond.Null, false, bond.Null, false, false, func(_ []byte, vp VertexPtr) bool {
+		asc = append(asc, readOrigin(vp))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range asc {
+		if asc[i] != want[len(want)-1-i] {
+			t.Fatalf("asc scan order = %v, want reverse of %v", asc, want)
+		}
+	}
+}
+
 func TestGraphDeletingBlocksDataPlane(t *testing.T) {
 	s, g, c := testGraph(t, 5)
 	if err := s.SetGraphState(c, "bing", "films", GraphDeleting); err != nil {

@@ -557,6 +557,18 @@ func (g *Graph) IndexRangeScan(tx *farm.Tx, typeName, fieldName string, lo, hi b
 // suffix, so inclusive/exclusive edges are realized by starting or
 // stopping at the key-prefix boundary.
 func (g *Graph) IndexRangeScanBounds(tx *farm.Tx, typeName, fieldName string, lo bond.Value, loInc bool, hi bond.Value, hiInc bool, fn func(vp VertexPtr) bool) error {
+	return g.IndexRangeScanBoundsDir(tx, typeName, fieldName, lo, loInc, hi, hiInc, false,
+		func(_ []byte, vp VertexPtr) bool { return fn(vp) })
+}
+
+// IndexRangeScanBoundsDir is IndexRangeScanBounds with an explicit
+// iteration direction: desc=true visits the range in descending attribute
+// order (the B-tree's reverse scan), so ordered top-K readers can stop at
+// the high end after a handful of hits. The callback also receives the
+// entry's ordered-encoded attribute key (the index key minus its vertex
+// address suffix), so callers can detect attribute ties without reading
+// the vertex.
+func (g *Graph) IndexRangeScanBoundsDir(tx *farm.Tx, typeName, fieldName string, lo bond.Value, loInc bool, hi bond.Value, hiInc bool, desc bool, fn func(attrKey []byte, vp VertexPtr) bool) error {
 	vt, err := g.vertexType(tx.Ctx(), typeName)
 	if err != nil {
 		return err
@@ -587,9 +599,17 @@ func (g *Graph) IndexRangeScanBounds(tx *farm.Tx, typeName, fieldName string, lo
 				to = enc
 			}
 		}
-		return st.Scan(tx, from, to, func(_, v []byte) bool {
-			return fn(valuePtr(v))
-		})
+		visit := func(k, v []byte) bool {
+			attr := k
+			if len(attr) >= 8 {
+				attr = attr[:len(attr)-8] // strip the address suffix
+			}
+			return fn(attr, valuePtr(v))
+		}
+		if desc {
+			return st.ScanDesc(tx, from, to, visit)
+		}
+		return st.Scan(tx, from, to, visit)
 	}
 	return fmt.Errorf("%w: no secondary index on %s.%s", ErrNotFound, typeName, fieldName)
 }

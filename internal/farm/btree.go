@@ -655,6 +655,63 @@ func (bt *BTree) Scan(tx *Tx, from, to []byte, fn func(key, val []byte) bool) er
 	}
 }
 
+// ScanDesc visits entries with from <= key < to in descending key order
+// (nil to = +infinity), so callers can stop early at the high end of a
+// range — the iteration direction behind descending ordered index scans.
+// Leaves carry only right-sibling pointers, so the reverse walk is a
+// right-to-left depth-first descent instead of a leaf chain: every node is
+// read through the transaction, whose snapshot is internally consistent,
+// so no fence walks are needed. fn returns false to stop early.
+func (bt *BTree) ScanDesc(tx *Tx, from, to []byte, fn func(key, val []byte) bool) error {
+	p, err := bt.rootPtr(tx)
+	if err != nil {
+		return err
+	}
+	_, err = bt.scanDescNode(tx, p, from, to, fn, 0)
+	return err
+}
+
+// scanDescNode recursively visits a subtree right-to-left. cont=false
+// propagates an early stop.
+func (bt *BTree) scanDescNode(tx *Tx, p Ptr, from, to []byte, fn func(key, val []byte) bool, depth int) (cont bool, err error) {
+	if depth >= 64 {
+		return false, errors.New("farm: btree descent too deep")
+	}
+	n, err := bt.readNode(tx, p)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i := len(n.keys) - 1; i >= 0; i-- {
+			if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+				continue
+			}
+			if from != nil && bytes.Compare(n.keys[i], from) < 0 {
+				return false, nil
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		// Child i covers [keys[i-1], keys[i]): skip subtrees entirely above
+		// the range, stop once entirely below it.
+		if to != nil && i > 0 && bytes.Compare(n.keys[i-1], to) >= 0 {
+			continue
+		}
+		if from != nil && i < len(n.keys) && bytes.Compare(n.keys[i], from) <= 0 {
+			return false, nil
+		}
+		cont, err := bt.scanDescNode(tx, n.children[i], from, to, fn, depth+1)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
 // Count returns the number of entries in [from, to).
 func (bt *BTree) Count(tx *Tx, from, to []byte) (int, error) {
 	count := 0

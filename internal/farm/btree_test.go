@@ -376,3 +376,75 @@ func TestBTreeLargeEntryRejected(t *testing.T) {
 		t.Errorf("err = %v, want ErrKeyTooLarge", err)
 	}
 }
+
+func TestBTreeScanDesc(t *testing.T) {
+	f, c := directFarm(t, 5)
+	bt := newTestBTree(t, f, c)
+	// Enough entries to force several splits, inserted out of order.
+	perm := rand.New(rand.NewSource(3)).Perm(300)
+	err := RunTransaction(c, f, func(tx *Tx) error {
+		for _, i := range perm {
+			if err := bt.Put(tx, []byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtx := f.CreateReadTransaction(c)
+	// Full reverse scan visits every key in strictly descending order.
+	var got []string
+	err = bt.ScanDesc(rtx, nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("reverse scan visited %d keys, want 300", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] > got[j] }) {
+		t.Error("reverse scan not in descending order")
+	}
+	if got[0] != "k299" || got[299] != "k000" {
+		t.Errorf("reverse scan endpoints = %s..%s", got[0], got[299])
+	}
+	// Bounds: [from, to) visited high to low.
+	got = nil
+	err = bt.ScanDesc(rtx, []byte("k010"), []byte("k020"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "k019" || got[9] != "k010" {
+		t.Errorf("bounded reverse scan = %v", got)
+	}
+	// Early stop after a handful of keys from the high end.
+	count := 0
+	err = bt.ScanDesc(rtx, nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 5
+	})
+	if err != nil || count != 5 {
+		t.Errorf("early stop count = %d, %v; want 5", count, err)
+	}
+	// Forward and reverse agree on membership.
+	var fwd []string
+	if err := bt.Scan(rtx, nil, nil, func(k, v []byte) bool { fwd = append(fwd, string(k)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	var rev []string
+	if err := bt.ScanDesc(rtx, nil, nil, func(k, v []byte) bool { rev = append(rev, string(k)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := 0, len(rev)-1; i < len(fwd); i, j = i+1, j-1 {
+		if fwd[i] != rev[j] {
+			t.Fatalf("forward/reverse mismatch at %d: %s vs %s", i, fwd[i], rev[j])
+		}
+	}
+}

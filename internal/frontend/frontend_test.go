@@ -329,3 +329,65 @@ func TestConcurrentClients(t *testing.T) {
 		t.Errorf("concurrent query: %v", err)
 	}
 }
+
+func TestGroupedAggregatesThroughFrontend(t *testing.T) {
+	// `_groupby` results flow through the tier like rows: workers ship
+	// per-group partial states to a random backend coordinator, the merged
+	// groups come back in the first page, and overflowing group lists page
+	// through token-routed fetches.
+	tier, g, c := newTier(t)
+	doc := []byte(`{ "id" : "steven.spielberg",
+	  "_out_edge" : { "_type" : "director.film",
+	    "_vertex" : { "_groupby" : "str_str_map[year]",
+	      "_select" : ["_count(*)", "_avg(popularity)"] }}}`)
+	res, err := tier.Query(c, g, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups through frontend")
+	}
+	total := int64(0)
+	prevYear := ""
+	for _, gr := range res.Groups {
+		year := gr.Keys["str_str_map[year]"].AsString()
+		if year < prevYear {
+			t.Errorf("groups out of key order: %q after %q", year, prevYear)
+		}
+		prevYear = year
+		total += gr.Aggregates["_count(*)"].AsInt()
+	}
+	if want := int64(workload.TestParams().SpielbergFilms); total != want {
+		t.Errorf("grouped counts sum to %d, want %d films", total, want)
+	}
+	if res.Stats.RowsShipped != 0 {
+		t.Errorf("RowsShipped = %d, want 0 (group partials only)", res.Stats.RowsShipped)
+	}
+
+	// Small pages force the group list through the continuation path; the
+	// tier routes each fetch back to the issuing coordinator.
+	paged, err := tier.Query(c, g, []byte(`{ "id" : "steven.spielberg",
+	  "_hints" : {"page_size": 2},
+	  "_out_edge" : { "_type" : "director.film",
+	    "_vertex" : { "_groupby" : "str_str_map[year]",
+	      "_select" : ["_count(*)"] }}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(paged.Groups)
+	pages := 1
+	for paged.Continuation != "" {
+		paged, err = tier.Fetch(c, paged.Continuation)
+		if err != nil {
+			t.Fatalf("group fetch page %d: %v", pages, err)
+		}
+		got += len(paged.Groups)
+		pages++
+	}
+	if pages < 2 {
+		t.Fatalf("expected multiple group pages, got %d", pages)
+	}
+	if got != len(res.Groups) {
+		t.Errorf("paged groups = %d, want %d", got, len(res.Groups))
+	}
+}

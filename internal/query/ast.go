@@ -33,6 +33,7 @@ const (
 	keyLimit   = "_limit"
 	keySkip    = "_skip"
 	keyOrderBy = "_orderby"
+	keyGroupBy = "_groupby"
 )
 
 // Op is a predicate comparison operator.
@@ -124,7 +125,9 @@ type Aggregate struct {
 	Raw  string
 }
 
-// OrderBy sorts the terminal result set by one attribute.
+// OrderBy is one `_orderby` sort key. A query may carry several keys
+// (multi-key ordering); rows compare key by key, ties falling through to
+// the next.
 type OrderBy struct {
 	Path FieldPath
 	Desc bool
@@ -149,10 +152,11 @@ type VertexPattern struct {
 	Count   bool           // _select contains "_count(*)"
 
 	// Result shaping (terminal level only).
-	Aggs  []Aggregate // _select aggregates, _count(*) included
-	Limit int         // _limit: max rows returned (0 = unbounded)
-	Skip  int         // _skip: rows dropped before the first returned
-	Order *OrderBy    // _orderby: result ordering (nil = unordered)
+	Aggs    []Aggregate // _select aggregates, _count(*) included
+	Limit   int         // _limit: max rows (or groups) returned (0 = unbounded)
+	Skip    int         // _skip: rows (or groups) dropped before the first returned
+	Orders  []OrderBy   // _orderby: result ordering keys (empty = unordered)
+	GroupBy []FieldPath // _groupby: grouped-aggregate keys (empty = ungrouped)
 
 	// "$param" placeholders bound at execution time.
 	IDParam    string // id
@@ -163,8 +167,8 @@ type VertexPattern struct {
 // shaped reports whether the pattern carries result-shaping operators,
 // which are only meaningful on the terminal level.
 func (vp *VertexPattern) shaped() bool {
-	return len(vp.Aggs) > 0 || vp.Limit > 0 || vp.Skip > 0 || vp.Order != nil ||
-		vp.LimitParam != "" || vp.SkipParam != ""
+	return len(vp.Aggs) > 0 || vp.Limit > 0 || vp.Skip > 0 || len(vp.Orders) > 0 ||
+		len(vp.GroupBy) > 0 || vp.LimitParam != "" || vp.SkipParam != ""
 }
 
 // Hints carries optional execution hints (paper: A1 has no true optimizer;
@@ -188,6 +192,11 @@ type Query struct {
 	fromCache bool
 	// bound marks a copy produced by Bind with all placeholders resolved.
 	bound bool
+	// plan is the compiled physical plan. It is structural — it records
+	// operator choices and predicate positions, never bound values — so one
+	// compilation (at Parse time, cached with the AST) serves every binding
+	// of the document.
+	plan *Plan
 }
 
 // Parse parses an A1QL JSON document.
@@ -222,6 +231,7 @@ func Parse(doc []byte) (*Query, error) {
 		return nil, parseError(err)
 	}
 	q.ParamNames = collectParams(root)
+	q.plan = compilePlan(q)
 	return q, nil
 }
 
@@ -313,7 +323,21 @@ func validateShaping(root *VertexPattern) error {
 		}
 		terminal := vp.Edge == nil
 		if !terminal && vp.shaped() {
-			return errors.New("a1ql: _limit/_skip/_orderby/aggregates allowed on the terminal level only")
+			return errors.New("a1ql: _limit/_skip/_orderby/_groupby/aggregates allowed on the terminal level only")
+		}
+		if terminal && len(vp.GroupBy) > 0 {
+			// Grouped aggregates: each group reduces to scalars, so plain
+			// projections have no row to ride on and `_orderby` has no row
+			// order to define (groups come back sorted by key).
+			if len(vp.Aggs) == 0 {
+				return errors.New("a1ql: _groupby requires at least one _select aggregate")
+			}
+			if len(vp.Selects) > 0 {
+				return errors.New("a1ql: _groupby allows only aggregate _select entries")
+			}
+			if len(vp.Orders) > 0 {
+				return errors.New("a1ql: _orderby is not supported with _groupby (groups sort by key)")
+			}
 		}
 		for _, m := range vp.Matches {
 			if err := rejectShaping(m); err != nil {
@@ -444,11 +468,17 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 			}
 			vp.Skip = n
 		case keyOrderBy:
-			ob, err := parseOrderBy(v)
+			obs, err := parseOrderBy(v)
 			if err != nil {
 				return nil, err
 			}
-			vp.Order = ob
+			vp.Orders = obs
+		case keyGroupBy:
+			gb, err := parseGroupBy(v)
+			if err != nil {
+				return nil, err
+			}
+			vp.GroupBy = gb
 		case keyMatch:
 			list, ok := v.([]interface{})
 			if !ok {
@@ -589,55 +619,109 @@ func parseAggSelect(s string) (Aggregate, bool, error) {
 }
 
 // parseOrderBy accepts `"_orderby": "field"`, `"_orderby": "-field"`
-// (descending), or `"_orderby": {"field": "...", "dir": "asc"|"desc"}`.
-func parseOrderBy(v interface{}) (*OrderBy, error) {
+// (descending), `"_orderby": {"field": "...", "dir": "asc"|"desc"}`, or a
+// list of those forms (multi-key ordering, most-significant key first).
+func parseOrderBy(v interface{}) ([]OrderBy, error) {
+	if list, ok := v.([]interface{}); ok {
+		if len(list) == 0 {
+			return nil, errors.New("a1ql: _orderby list must not be empty")
+		}
+		var obs []OrderBy
+		for _, item := range list {
+			if _, nested := item.([]interface{}); nested {
+				return nil, errors.New("a1ql: _orderby list entries must be strings or objects")
+			}
+			ob, err := parseOrderKey(item)
+			if err != nil {
+				return nil, err
+			}
+			obs = append(obs, ob)
+		}
+		return obs, nil
+	}
+	ob, err := parseOrderKey(v)
+	if err != nil {
+		return nil, err
+	}
+	return []OrderBy{ob}, nil
+}
+
+// parseOrderKey parses one sort key (string or object form).
+func parseOrderKey(v interface{}) (OrderBy, error) {
 	switch x := v.(type) {
 	case string:
-		ob := &OrderBy{}
+		ob := OrderBy{}
 		if strings.HasPrefix(x, "-") {
 			ob.Desc = true
 			x = x[1:]
 		}
 		fp, err := parseFieldPath(x)
 		if err != nil {
-			return nil, err
+			return ob, err
 		}
 		if fp.Wildcard || fp.Field == "" {
-			return nil, errors.New("a1ql: _orderby requires a field")
+			return ob, errors.New("a1ql: _orderby requires a field")
 		}
 		ob.Path = fp
 		return ob, nil
 	case map[string]interface{}:
 		field, ok := x["field"].(string)
 		if !ok || field == "" {
-			return nil, errors.New("a1ql: _orderby object requires a \"field\" string")
+			return OrderBy{}, errors.New("a1ql: _orderby object requires a \"field\" string")
 		}
 		fp, err := parseFieldPath(field)
 		if err != nil {
-			return nil, err
+			return OrderBy{}, err
 		}
 		if fp.Wildcard {
-			return nil, errors.New("a1ql: _orderby requires a field")
+			return OrderBy{}, errors.New("a1ql: _orderby requires a field")
 		}
-		ob := &OrderBy{Path: fp}
+		ob := OrderBy{Path: fp}
 		if dir, ok := x["dir"]; ok {
 			switch dir {
 			case "asc":
 			case "desc":
 				ob.Desc = true
 			default:
-				return nil, fmt.Errorf("a1ql: _orderby dir %v must be \"asc\" or \"desc\"", dir)
+				return OrderBy{}, fmt.Errorf("a1ql: _orderby dir %v must be \"asc\" or \"desc\"", dir)
 			}
 		}
 		for k := range x {
 			if k != "field" && k != "dir" {
-				return nil, fmt.Errorf("a1ql: unknown _orderby key %q", k)
+				return OrderBy{}, fmt.Errorf("a1ql: unknown _orderby key %q", k)
 			}
 		}
 		return ob, nil
 	default:
-		return nil, errors.New("a1ql: _orderby must be a string or an object")
+		return OrderBy{}, errors.New("a1ql: _orderby must be a string, an object, or a list of those")
 	}
+}
+
+// parseGroupBy accepts `"_groupby": "field"` or a list of field paths.
+func parseGroupBy(v interface{}) ([]FieldPath, error) {
+	items, ok := v.([]interface{})
+	if !ok {
+		items = []interface{}{v}
+	}
+	if len(items) == 0 {
+		return nil, errors.New("a1ql: _groupby list must not be empty")
+	}
+	var paths []FieldPath
+	for _, item := range items {
+		s, ok := item.(string)
+		if !ok {
+			return nil, errors.New("a1ql: _groupby entries must be field paths")
+		}
+		fp, err := parseFieldPath(s)
+		if err != nil {
+			return nil, err
+		}
+		if fp.Wildcard || fp.Field == "" {
+			return nil, errors.New("a1ql: _groupby requires a field")
+		}
+		paths = append(paths, fp)
+	}
+	return paths, nil
 }
 
 // parsePredicate turns `"field": constant` or `"field": {"_gt": constant}`

@@ -51,6 +51,7 @@ func DecodeToken(token string) (fabric.MachineID, uint64, error) {
 
 type cachedResult struct {
 	rows    []Row
+	groups  []GroupRow // grouped-aggregate remainder (`_groupby` results page too)
 	expires time.Duration
 }
 
@@ -64,12 +65,12 @@ func newResultCache() *resultCache {
 	return &resultCache{entries: make(map[uint64]*cachedResult)}
 }
 
-func (rc *resultCache) put(c *fabric.Ctx, ttl time.Duration, rows []Row) uint64 {
+func (rc *resultCache) put(c *fabric.Ctx, ttl time.Duration, rows []Row, groups []GroupRow) uint64 {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	rc.nextID++
 	id := rc.nextID
-	rc.entries[id] = &cachedResult{rows: rows, expires: c.Now() + ttl}
+	rc.entries[id] = &cachedResult{rows: rows, groups: groups, expires: c.Now() + ttl}
 	return id
 }
 
@@ -103,17 +104,26 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 		rc.mu.Unlock()
 		return nil, classify(fmt.Errorf("%w: expired; restart the query", ErrBadToken))
 	}
-	var page []Row
-	if len(entry.rows) > pageSize {
-		page = entry.rows[:pageSize]
+	res := &Result{}
+	if len(entry.groups) > 0 {
+		// Grouped-aggregate remainder: groups page exactly like rows.
+		if len(entry.groups) > pageSize {
+			res.Groups = entry.groups[:pageSize]
+			entry.groups = entry.groups[pageSize:]
+		} else {
+			res.Groups = entry.groups
+			delete(rc.entries, id)
+			id = 0
+		}
+	} else if len(entry.rows) > pageSize {
+		res.Rows = entry.rows[:pageSize]
 		entry.rows = entry.rows[pageSize:]
 	} else {
-		page = entry.rows
+		res.Rows = entry.rows
 		delete(rc.entries, id)
 		id = 0
 	}
 	rc.mu.Unlock()
-	res := &Result{Rows: page}
 	if id != 0 {
 		res.Continuation = token // same entry, same page size
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,6 +13,13 @@ import (
 	"a1/internal/fabric"
 	"a1/internal/farm"
 )
+
+// Execution: exec.go interprets the compiled Plan (plan.go). The planner
+// decides *what* runs at each level — frontier source, index filters,
+// residual filtering, traversal, shaping, grouping — and this file supplies
+// the distributed *how*: partitioning frontiers by primary host, shipping
+// batched operators to the machines owning the data, and merging replies at
+// the coordinator (paper §3.4, Figure 9).
 
 // Errors surfaced by the engine.
 var (
@@ -72,10 +80,10 @@ type Row struct {
 	Vertex core.VertexPtr
 	Values map[string]bond.Value
 
-	// _orderby sort key, resolved where the row was produced so the
-	// coordinator can merge shipped batches without re-reading vertices.
-	key    bond.Value
-	hasKey bool
+	// _orderby sort keys (parallel to the query's Orders), resolved where
+	// the row was produced so the coordinator can merge shipped batches
+	// without re-reading vertices.
+	keys []sortKey
 }
 
 // Stats describes one query's execution, matching the accounting the paper
@@ -95,6 +103,10 @@ type Stats struct {
 	// pruned prefixes, so these drop versus shipping the raw rows.
 	RowsShipped  int64
 	BytesShipped int64
+	// IndexFiltered counts frontier vertices dropped by a traversal-level
+	// index-membership filter *before* any vertex read — the saving the
+	// IndexFilter operator buys.
+	IndexFiltered int64
 	// PlanCacheHits is 1 when this execution's plan came from the engine's
 	// plan cache (a Prepared.Exec or a repeated document): the coordinator
 	// performed zero parses, and in Sim mode paid no CostParse.
@@ -107,6 +119,7 @@ type Result struct {
 	Count        int64
 	HasCount     bool
 	Aggregates   map[string]bond.Value // keyed by the _select entry, e.g. "_sum(popularity)"
+	Groups       []GroupRow            // `_groupby` result groups, sorted by key
 	Continuation string
 	Stats        Stats
 }
@@ -116,7 +129,7 @@ type Engine struct {
 	store  *core.Store
 	cfg    Config
 	caches []*resultCache // per machine (coordinator-cached continuations)
-	plans  *planCache     // parsed ASTs keyed by document hash
+	plans  *planCache     // compiled plans keyed by canonical document hash
 }
 
 // NewEngine creates an engine over a store.
@@ -143,9 +156,10 @@ func (e *Engine) Store() *core.Store { return e.store }
 
 // Execute runs an A1QL document. The calling context's machine is the
 // query coordinator. Plans are served from the engine's plan cache when
-// the identical document was executed (or prepared) before — a cache hit
-// performs zero parses. Documents with "$param" placeholders must go
-// through Prepare/Exec; executing one directly fails with CodeBadParam.
+// a structurally identical document was executed (or prepared) before — a
+// cache hit performs zero parses. Documents with "$param" placeholders
+// must go through Prepare/Exec; executing one directly fails with
+// CodeBadParam.
 func (e *Engine) Execute(c *fabric.Ctx, g *core.Graph, doc []byte) (*Result, error) {
 	q, cached, err := e.plan(doc, true)
 	if err != nil {
@@ -192,6 +206,11 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	unpin := f.PinSnapshot(ts)
 	defer unpin()
 
+	// The interpreter zips the compiled plan with the (possibly bound)
+	// pattern chain: the plan holds operator choices, the patterns hold the
+	// values this execution binds them to.
+	pl := q.Plan()
+	pats := patternChain(q.Root)
 	st := &execState{
 		engine:  e,
 		graph:   g,
@@ -199,98 +218,145 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 		hints:   q.Hints,
 		targets: map[*EdgePattern]core.VertexPtr{},
 	}
-	terminalPattern := terminalOf(q.Root)
-	if terminalPattern.Limit > 0 && len(terminalPattern.Aggs) == 0 {
-		if terminalPattern.Order == nil {
+	tp := pats[len(pats)-1]
+	tl := pl.Levels[len(pl.Levels)-1]
+	if tp.Limit > 0 && len(tp.Aggs) == 0 {
+		if len(tp.Orders) == 0 {
 			// Unordered limit: any K rows satisfy the query, so workers
 			// stop reading vertices once K(+skip) are collected anywhere.
-			st.rowTarget = int64(terminalPattern.Limit + terminalPattern.Skip)
+			st.rowTarget = int64(tp.Limit + tp.Skip)
 		} else {
 			// Ordered limit: workers and the merging coordinator retain
 			// only the top K(+skip) rows.
-			st.keep = terminalPattern.Limit + terminalPattern.Skip
+			st.keep = tp.Limit + tp.Skip
 		}
 	}
 	ctx := f.CreateReadTransactionAt(qc, ts)
 	if err := st.resolveMatchTargets(ctx, q.Root); err != nil {
 		return nil, err
 	}
-	frontier, err := st.resolveStart(ctx, q.Root)
+
+	var rows []Row
+	var aggStates []aggState
+	var groups map[string]*groupState
+
+	frontier, orderedRows, ordered, err := st.execStart(qc, ctx, pats[0], pl.Levels[0])
 	if err != nil {
 		return nil, err
 	}
-
-	level := q.Root
-	working := len(frontier)
-	var rows []Row
-	var aggStates []aggState
-	for {
-		terminal := level.Edge == nil
-		out, err := st.execLevel(qc, frontier, level, terminal)
-		if err != nil {
-			return nil, err
+	if ordered {
+		// OrderedIndexScan produced the terminal rows directly, already in
+		// result order.
+		rows = orderedRows
+		st.preOrdered = true
+		st.stats.Hops = 1
+	} else {
+		level := 0
+		working := len(frontier)
+		for {
+			lp := pl.Levels[level]
+			pat := pats[level]
+			if lp.IndexFilter != nil && len(frontier) > 0 {
+				member, ok, err := st.buildMemberFilter(qc, ctx, pat, lp.IndexFilter, len(frontier))
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					st.member = member
+				}
+			}
+			out, err := st.execLevel(qc, frontier, pat, lp)
+			st.member = nil
+			if err != nil {
+				return nil, err
+			}
+			st.stats.Hops++
+			if lp.Terminal {
+				rows = dedupRows(out.rows)
+				aggStates = out.aggs
+				groups = out.groups
+				break
+			}
+			// Aggregate replies: dedup and repartition by pointer (§3.4).
+			qc.Work(time.Duration(len(out.next)) * e.cfg.CostMerge)
+			frontier = dedupPtrs(out.next)
+			working += len(frontier)
+			if working > e.cfg.MaxWorkingSet {
+				return nil, fmt.Errorf("%w: %d vertices", ErrWorkingSet, working)
+			}
+			if len(frontier) == 0 {
+				rows = nil
+				break
+			}
+			level++
 		}
-		st.stats.Hops++
-		if terminal {
-			rows = dedupRows(out.rows)
-			aggStates = out.aggs
-			break
-		}
-		// Aggregate replies: dedup and repartition by pointer (§3.4).
-		qc.Work(time.Duration(len(out.next)) * e.cfg.CostMerge)
-		frontier = dedupPtrs(out.next)
-		working += len(frontier)
-		if working > e.cfg.MaxWorkingSet {
-			return nil, fmt.Errorf("%w: %d vertices", ErrWorkingSet, working)
-		}
-		if len(frontier) == 0 {
-			rows = nil
-			break
-		}
-		level = level.Edge.Vertex
 	}
 
 	res := &Result{}
-	if len(terminalPattern.Aggs) > 0 {
-		if aggStates == nil {
-			aggStates = make([]aggState, len(terminalPattern.Aggs))
+	pageSize := e.cfg.PageSize
+	if q.Hints.PageSize > 0 {
+		pageSize = q.Hints.PageSize
+	}
+	switch {
+	case tl.Group != nil:
+		// Grouped aggregates: finalize the merged partial states into the
+		// sorted group list; _skip/_limit shape groups, and overflowing
+		// group lists page through the continuation cache like rows.
+		grows := finalizeGroups(groups, tp.GroupBy, tp.Aggs)
+		if skip := tp.Skip; skip > 0 {
+			if skip >= len(grows) {
+				grows = nil
+			} else {
+				grows = grows[skip:]
+			}
 		}
-		res.Aggregates = finalizeAggs(aggStates, terminalPattern.Aggs)
-		if terminalPattern.Count {
-			for i, a := range terminalPattern.Aggs {
-				if a.Kind == AggCount {
-					res.Count = aggStates[i].count
-					res.HasCount = true
-					break
+		if tp.Limit > 0 && len(grows) > tp.Limit {
+			grows = grows[:tp.Limit]
+		}
+		if len(grows) > pageSize {
+			token := e.caches[qc.M].put(qc, e.cfg.ResultTTL, nil, grows[pageSize:])
+			res.Continuation = encodeToken(qc.M, token, pageSize)
+			grows = grows[:pageSize]
+		}
+		res.Groups = grows
+	default:
+		if len(tp.Aggs) > 0 {
+			if aggStates == nil {
+				aggStates = make([]aggState, len(tp.Aggs))
+			}
+			res.Aggregates = finalizeAggs(aggStates, tp.Aggs)
+			if tp.Count {
+				for i, a := range tp.Aggs {
+					if a.Kind == AggCount {
+						res.Count = aggStates[i].count
+						res.HasCount = true
+						break
+					}
 				}
 			}
 		}
-	}
-	// Rows are materialized unless the terminal is aggregate-only.
-	if len(terminalPattern.Selects) > 0 || len(terminalPattern.Aggs) == 0 {
-		if terminalPattern.Order != nil {
-			sortRows(rows, terminalPattern.Order.Desc)
-		}
-		if skip := terminalPattern.Skip; skip > 0 {
-			if skip >= len(rows) {
-				rows = nil
-			} else {
-				rows = rows[skip:]
+		// Rows are materialized unless the terminal is aggregate-only.
+		if len(tp.Selects) > 0 || len(tp.Aggs) == 0 {
+			if len(tp.Orders) > 0 && !st.preOrdered {
+				sortRows(rows, tp.Orders)
 			}
+			if skip := tp.Skip; skip > 0 {
+				if skip >= len(rows) {
+					rows = nil
+				} else {
+					rows = rows[skip:]
+				}
+			}
+			if tp.Limit > 0 && len(rows) > tp.Limit {
+				rows = rows[:tp.Limit]
+			}
+			if len(rows) > pageSize {
+				token := e.caches[qc.M].put(qc, e.cfg.ResultTTL, rows[pageSize:], nil)
+				res.Continuation = encodeToken(qc.M, token, pageSize)
+				rows = rows[:pageSize]
+			}
+			res.Rows = rows
 		}
-		if terminalPattern.Limit > 0 && len(rows) > terminalPattern.Limit {
-			rows = rows[:terminalPattern.Limit]
-		}
-		pageSize := e.cfg.PageSize
-		if q.Hints.PageSize > 0 {
-			pageSize = q.Hints.PageSize
-		}
-		if len(rows) > pageSize {
-			token := e.caches[qc.M].put(qc, e.cfg.ResultTTL, rows[pageSize:])
-			res.Continuation = encodeToken(qc.M, token, pageSize)
-			rows = rows[:pageSize]
-		}
-		res.Rows = rows
 	}
 
 	res.Stats = st.snapshotStats(&ops)
@@ -299,13 +365,6 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 		res.Stats.PlanCacheHits = 1
 	}
 	return res, nil
-}
-
-func terminalOf(vp *VertexPattern) *VertexPattern {
-	for vp.Edge != nil {
-		vp = vp.Edge.Vertex
-	}
-	return vp
 }
 
 // execState carries one query's execution through its hops.
@@ -320,6 +379,14 @@ type execState struct {
 	rowTarget int64        // unordered _limit: stop producing rows at this count (0 = off)
 	rowsOut   atomic.Int64 // rows produced across all batches
 	keep      int          // _orderby+_limit: per-batch/merge top-K retention (0 = all)
+
+	// member, when non-nil, is the current level's index-membership filter:
+	// frontier vertices outside it are dropped before any read. Set by the
+	// coordinator before execLevel, read-only during it.
+	member map[farm.Addr]bool
+	// preOrdered marks rows produced by OrderedIndexScan: already in result
+	// order, no coordinator sort needed.
+	preOrdered bool
 
 	mu    sync.Mutex
 	stats Stats
@@ -390,63 +457,72 @@ func (st *execState) lookupByID(tx *farm.Tx, vp *VertexPattern) (core.VertexPtr,
 	return core.VertexPtr{}, false, nil
 }
 
-// resolveStart produces the root frontier: a primary-index lookup for `id`,
-// a secondary-index scan for an indexed equality predicate, or a full type
-// scan otherwise.
-func (st *execState) resolveStart(tx *farm.Tx, root *VertexPattern) ([]core.VertexPtr, error) {
-	if root.ID != "" {
+// execStart interprets the root level's StartPlan. Candidates run in
+// preference order — IDLookup, IndexScan (equality), OrderedIndexScan,
+// IndexRangeScan, TypeScan — each index-using candidate falling through
+// when its index does not exist. OrderedIndexScan is the one source that
+// produces terminal *rows* (ordered=true) instead of a frontier.
+func (st *execState) execStart(qc *fabric.Ctx, tx *farm.Tx, root *VertexPattern, lp *LevelPlan) (frontier []core.VertexPtr, rows []Row, ordered bool, err error) {
+	sp := lp.Start
+	if sp.ByID {
 		ptr, ok, err := st.lookupByID(tx, root)
 		if err != nil {
-			return nil, err
+			return nil, nil, false, err
 		}
 		if !ok {
-			return nil, fmt.Errorf("%w: id %q", ErrNoStart, root.ID)
+			return nil, nil, false, fmt.Errorf("%w: id %q", ErrNoStart, root.ID)
 		}
-		return []core.VertexPtr{ptr}, nil
+		return []core.VertexPtr{ptr}, nil, false, nil
 	}
 	if root.Type == "" {
-		return nil, errors.New("a1ql: root pattern requires id or _type")
+		return nil, nil, false, errors.New("a1ql: root pattern requires id or _type")
 	}
-	// Try a secondary index for an equality predicate.
-	for _, p := range root.Preds {
-		if p.Op != OpEq || p.Path.IsMap || p.Path.IsList || p.Path.Wildcard {
-			continue
-		}
+	// Secondary-index equality scan.
+	for _, pi := range sp.EqPreds {
+		p := root.Preds[pi]
 		var hits []core.VertexPtr
 		err := st.graph.IndexScan(tx, root.Type, p.Path.Field, p.Value, func(vp core.VertexPtr) bool {
 			hits = append(hits, vp)
 			return true
 		})
 		if err == nil {
-			return hits, nil
+			return hits, nil, false, nil
 		}
 		if !errors.Is(err, core.ErrNotFound) {
-			return nil, err
+			return nil, nil, false, err
 		}
 	}
-	// Try a secondary-index range scan for inequality predicates: the
-	// index B-trees are ordered, so `{"f": {"_ge": lo, "_lt": hi}}` reads
-	// only the matching key range instead of the whole type. Bounds are
-	// coerced (widening) to the field's stored kind; every predicate is
-	// still re-evaluated per vertex, so the frontier may over-approximate
-	// but never misses.
-	if hits, served, err := st.rangeStart(tx, root); served {
-		return hits, err
+	// Ordered index scan: result order off the index, top-K early stop.
+	if sp.Ordered != nil {
+		rows, served, err := st.orderedScan(qc, tx, root, sp.Ordered)
+		if served || err != nil {
+			return nil, rows, served, err
+		}
 	}
-	// Full primary-index scan of the type. When the root is an unfiltered,
-	// unordered terminal with a _limit, any K vertices of the type answer
-	// the query — stop scanning as soon as enough are found.
+	// Secondary-index range scan for inequality predicates: the index
+	// B-trees are ordered, so `{"f": {"_ge": lo, "_lt": hi}}` reads only
+	// the matching key range instead of the whole type. Bounds are coerced
+	// (widening) to the field's stored kind; every predicate is still
+	// re-evaluated per vertex, so the frontier may over-approximate but
+	// never misses.
+	if sp.HasRange {
+		if hits, served, err := st.rangeStart(tx, root); served {
+			return hits, nil, false, err
+		}
+	}
+	// Full primary-index scan of the type. When the plan marked the scan
+	// cappable (unfiltered, unordered, limited terminal), any K vertices of
+	// the type answer the query — stop scanning as soon as enough are found.
 	scanCap := 0
-	if root.Edge == nil && root.Order == nil && root.Limit > 0 &&
-		len(root.Aggs) == 0 && len(root.Preds) == 0 && len(root.Matches) == 0 {
+	if sp.ScanCapped && root.Limit > 0 {
 		scanCap = root.Limit + root.Skip
 	}
 	var hits []core.VertexPtr
-	err := st.graph.ScanVerticesByType(tx, root.Type, func(_ bond.Value, vp core.VertexPtr) bool {
+	err = st.graph.ScanVerticesByType(tx, root.Type, func(_ bond.Value, vp core.VertexPtr) bool {
 		hits = append(hits, vp)
 		return scanCap == 0 || len(hits) < scanCap
 	})
-	return hits, err
+	return hits, nil, false, err
 }
 
 // rangeStart attempts to serve the root frontier from a secondary-index
@@ -489,11 +565,263 @@ func (st *execState) rangeStart(tx *farm.Tx, root *VertexPattern) ([]core.Vertex
 	return nil, false, nil
 }
 
+// orderedScan serves a root-terminal ordered top-K straight off the
+// `_orderby` field's secondary index: the index walks in result order
+// (descending via the B-tree's reverse scan), each hit is read and
+// residually filtered, and the scan stops after _limit+_skip surviving
+// rows — O(limit) vertex reads instead of the type's cardinality. Range
+// predicates on the order field bound the walk itself. served=false means
+// the field has no index and the caller falls through.
+func (st *execState) orderedScan(qc *fabric.Ctx, tx *farm.Tx, pat *VertexPattern, osp *OrderedScanPlan) ([]Row, bool, error) {
+	if pat.Limit <= 0 {
+		// Unbounded ordered scans would re-scan the type for keyless
+		// vertices; the sort-based path is no worse there.
+		return nil, false, nil
+	}
+	g := st.graph
+	schema, err := g.VertexTypeSchema(qc, pat.Type)
+	if err != nil {
+		return nil, false, nil // unknown type: the type scan surfaces the error
+	}
+	lo, loInc, hi, hiInc := bond.Null, false, bond.Null, false
+	for _, spec := range rangeSpecs(pat.Preds) {
+		if spec.field != osp.Field {
+			continue
+		}
+		f, ok := schema.FieldByName(spec.field)
+		if !ok {
+			break
+		}
+		clo, cloInc, chi, chiInc, cok, empty := coerceRange(spec, f.Type.Kind)
+		if empty {
+			// The range excludes every stored value, and a range predicate
+			// never matches a missing field: no rows.
+			return nil, true, nil
+		}
+		if cok {
+			lo, loInc, hi, hiInc = clo, cloInc, chi, chiInc
+		}
+		break
+	}
+	target := pat.Limit + pat.Skip
+	var rows []Row
+	var lastAttr []byte
+	var innerErr error
+	err = g.IndexRangeScanBoundsDir(tx, pat.Type, osp.Field, lo, loInc, hi, hiInc, osp.Desc, func(attrKey []byte, vp core.VertexPtr) bool {
+		// Past the target, only key-ties with the boundary row still
+		// matter: the sort-based path breaks ties on ascending vertex
+		// address, while a descending index walk yields them
+		// address-descending, so the whole boundary tie-run must be
+		// collected before the final sort picks the same winners. The
+		// attribute key decides without reading the vertex.
+		if len(rows) >= target && !bytes.Equal(attrKey, lastAttr) {
+			return false
+		}
+		row, ok, err := st.buildTerminalRow(qc, tx, vp, pat)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		rows = append(rows, row)
+		lastAttr = append(lastAttr[:0], attrKey...)
+		return true
+	})
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, false, nil // no index on the order field
+	}
+	if err == nil {
+		err = innerErr
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	// Restore the sort path's exact order (ties ascending by address) and
+	// trim the boundary tie-run overshoot.
+	sortRows(rows, pat.Orders)
+	if len(rows) > target {
+		rows = rows[:target]
+	}
+	// The index holds no entry for vertices whose order field is null or
+	// missing; those sort after every keyed row, so they only matter when
+	// the index under-filled the target — and never when a predicate
+	// constrains the order field (a missing field fails every predicate).
+	// Top up from a type scan, emitting only keyless survivors in stable
+	// address order.
+	needTail := len(rows) < target
+	if needTail {
+		for _, p := range pat.Preds {
+			if p.Path.Field == osp.Field {
+				needTail = false
+				break
+			}
+		}
+	}
+	if needTail {
+		var tail []Row
+		err := g.ScanVerticesByType(tx, pat.Type, func(_ bond.Value, vp core.VertexPtr) bool {
+			row, ok, err := st.buildTerminalRow(qc, tx, vp, pat)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if !ok || (len(row.keys) > 0 && row.keys[0].ok) {
+				return true // keyed rows already came off the index
+			}
+			tail = append(tail, row)
+			return true
+		})
+		if err == nil {
+			err = innerErr
+		}
+		if err != nil {
+			return nil, true, err
+		}
+		sortRows(tail, pat.Orders) // keyless: stable address order
+		if len(tail) > target-len(rows) {
+			tail = tail[:target-len(rows)]
+		}
+		rows = append(rows, tail...)
+	}
+	return rows, true, nil
+}
+
+// buildTerminalRow reads one candidate vertex, applies the terminal
+// level's residual filters (type, predicates, _match), and materializes
+// its row with projections and sort keys.
+func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, pat *VertexPattern) (Row, bool, error) {
+	g := st.graph
+	e := st.engine
+	v, err := g.ReadVertex(tx, vp)
+	if errors.Is(err, core.ErrNotFound) {
+		return Row{}, false, nil
+	}
+	if err != nil {
+		return Row{}, false, err
+	}
+	sc.Work(e.cfg.CostVertexRead)
+	st.addVertexRead()
+	if pat.Type != "" && v.TypeName != pat.Type {
+		return Row{}, false, nil
+	}
+	schema, err := g.VertexTypeSchema(sc, v.TypeName)
+	if err != nil {
+		return Row{}, false, err
+	}
+	if len(pat.Preds) > 0 {
+		sc.Work(time.Duration(len(pat.Preds)) * e.cfg.CostPredEval)
+		if !evalPredicates(v.Data, pat.Preds, schema) {
+			return Row{}, false, nil
+		}
+	}
+	if len(pat.Matches) > 0 {
+		ok, err := st.evalMatches(sc, tx, vp, pat.Matches)
+		if err != nil {
+			return Row{}, false, err
+		}
+		if !ok {
+			return Row{}, false, nil
+		}
+	}
+	row := Row{Vertex: vp}
+	if len(pat.Selects) > 0 {
+		row.Values = make(map[string]bond.Value, len(pat.Selects))
+		for _, sel := range pat.Selects {
+			if val, ok := resolvePath(v.Data, sel, schema); ok {
+				row.Values[sel.Raw] = val
+			}
+		}
+	}
+	if len(pat.Orders) > 0 {
+		row.keys = make([]sortKey, len(pat.Orders))
+		for i, ob := range pat.Orders {
+			val, ok := resolvePath(v.Data, ob.Path, schema)
+			row.keys[i] = sortKey{val: val, ok: ok}
+		}
+	}
+	return row, true, nil
+}
+
+// buildMemberFilter interprets a traversal level's IndexFilter: it resolves
+// the first servable indexed predicate into a membership set of vertex
+// addresses, so the frontier is filtered before any vertex read. The set
+// may over-approximate (range coercion widens); residual predicate
+// evaluation still runs per surviving vertex. ok=false means no index was
+// usable — or the matching side outweighs the frontier, where reading the
+// frontier directly is cheaper than enumerating the index.
+func (st *execState) buildMemberFilter(qc *fabric.Ctx, tx *farm.Tx, pat *VertexPattern, ifp *IndexFilterPlan, frontier int) (map[farm.Addr]bool, bool, error) {
+	g := st.graph
+	budget := 4*frontier + 64
+	collect := func(scan func(fn func(vp core.VertexPtr) bool) error) (map[farm.Addr]bool, bool, error) {
+		member := make(map[farm.Addr]bool)
+		overflow := false
+		err := scan(func(vp core.VertexPtr) bool {
+			member[vp.Addr] = true
+			if len(member) > budget {
+				overflow = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return member, !overflow, nil
+	}
+	for _, pi := range ifp.EqPreds {
+		p := pat.Preds[pi]
+		m, ok, err := collect(func(fn func(core.VertexPtr) bool) error {
+			return g.IndexScan(tx, pat.Type, p.Path.Field, p.Value, fn)
+		})
+		if err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			return nil, false, err
+		}
+		return m, ok, nil
+	}
+	if ifp.HasRange {
+		specs := rangeSpecs(pat.Preds)
+		schema, err := g.VertexTypeSchema(qc, pat.Type)
+		if err != nil {
+			return nil, false, nil // unknown type: residual filtering drops everything
+		}
+		for _, spec := range specs {
+			f, ok := schema.FieldByName(spec.field)
+			if !ok {
+				continue
+			}
+			lo, loInc, hi, hiInc, cok, empty := coerceRange(spec, f.Type.Kind)
+			if !cok {
+				continue
+			}
+			if empty {
+				return map[farm.Addr]bool{}, true, nil
+			}
+			m, ok, err := collect(func(fn func(core.VertexPtr) bool) error {
+				return g.IndexRangeScanBounds(tx, pat.Type, spec.field, lo, loInc, hi, hiInc, fn)
+			})
+			if err != nil {
+				if errors.Is(err, core.ErrNotFound) {
+					continue
+				}
+				return nil, false, err
+			}
+			return m, ok, nil
+		}
+	}
+	return nil, false, nil
+}
+
 // levelOutput is the merged product of one hop.
 type levelOutput struct {
-	next []core.VertexPtr
-	rows []Row
-	aggs []aggState // partial aggregates, parallel to the level's Aggs
+	next   []core.VertexPtr
+	rows   []Row
+	aggs   []aggState             // partial aggregates, parallel to the level's Aggs
+	groups map[string]*groupState // grouped-aggregate partials (_groupby)
 }
 
 // ptrWireBytes is the encoded size of a fat pointer (addr + size).
@@ -501,14 +829,16 @@ const ptrWireBytes = 12
 
 // wireBytes is the Bond-encoded width of one row on the wire: the vertex
 // fat pointer, each projected value (field name + compact-binary value),
-// and the resolved _orderby key when present.
+// and the resolved _orderby keys when present.
 func (r *Row) wireBytes() int {
 	n := ptrWireBytes
 	for k, v := range r.Values {
 		n += len(k) + len(bond.Marshal(v))
 	}
-	if r.hasKey {
-		n += len(bond.Marshal(r.key))
+	for _, sk := range r.keys {
+		if sk.ok {
+			n += len(bond.Marshal(sk.val))
+		}
 	}
 	return n
 }
@@ -523,8 +853,19 @@ func (a *aggState) wireBytes() int {
 	return n
 }
 
+// wireBytes is the encoded width of one group partial: the encoded key
+// plus each aggregate's partial state.
+func (g *groupState) wireBytes(enc string) int {
+	n := len(enc)
+	for i := range g.aggs {
+		n += g.aggs[i].wireBytes()
+	}
+	return n
+}
+
 // replyBytes is the wire size of one batch's reply: fat pointers for the
-// next frontier, Bond-encoded projected rows, and aggregate partials.
+// next frontier, Bond-encoded projected rows, and (grouped) aggregate
+// partials.
 func (o *levelOutput) replyBytes() int {
 	n := len(o.next) * ptrWireBytes
 	for i := range o.rows {
@@ -533,6 +874,9 @@ func (o *levelOutput) replyBytes() int {
 	for i := range o.aggs {
 		n += o.aggs[i].wireBytes()
 	}
+	for enc, gs := range o.groups {
+		n += gs.wireBytes(enc)
+	}
 	return n
 }
 
@@ -540,7 +884,7 @@ func (o *levelOutput) replyBytes() int {
 // level's operators near the data: machines with enough vertices receive a
 // batched RPC (query shipping); stragglers are evaluated from the
 // coordinator over one-sided reads (§3.4, Figure 9).
-func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level *VertexPattern, terminal bool) (*levelOutput, error) {
+func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, pat *VertexPattern, lp *LevelPlan) (*levelOutput, error) {
 	f := st.engine.store.Farm()
 	groups := make(map[fabric.MachineID][]core.VertexPtr)
 	var order []fabric.MachineID
@@ -567,7 +911,7 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 		if ship {
 			reqBytes := len(batch)*ptrWireBytes + 128
 			err = cc.RPC(m, reqBytes, func(sc *fabric.Ctx) (int, error) {
-				out, err = st.execBatch(sc, batch, level, terminal)
+				out, err = st.execBatch(sc, batch, pat, lp)
 				if err != nil {
 					return 0, err
 				}
@@ -575,7 +919,7 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 				return rb, nil
 			})
 		} else {
-			out, err = st.execBatch(cc, batch, level, terminal)
+			out, err = st.execBatch(cc, batch, pat, lp)
 		}
 		mu.Lock()
 		defer mu.Unlock()
@@ -595,17 +939,26 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 		merged.rows = append(merged.rows, out.rows...)
 		if out.aggs != nil {
 			if merged.aggs == nil {
-				merged.aggs = make([]aggState, len(level.Aggs))
+				merged.aggs = make([]aggState, len(pat.Aggs))
 			}
-			mergeAggStates(merged.aggs, out.aggs, level.Aggs)
+			mergeAggStates(merged.aggs, out.aggs, pat.Aggs)
+		}
+		if out.groups != nil {
+			if merged.groups == nil {
+				merged.groups = make(map[string]*groupState)
+			}
+			mergeGroupStates(merged.groups, out.groups, pat.Aggs)
 		}
 		// Ordered-limit merge: never hold more than the top K(+skip) rows.
-		if terminal && st.keep > 0 && len(merged.rows) > 2*st.keep {
-			merged.rows = topK(merged.rows, level.Order.Desc, st.keep)
+		if lp.Terminal && st.keep > 0 && len(merged.rows) > 2*st.keep {
+			merged.rows = topK(merged.rows, pat.Orders, st.keep)
 		}
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if merged.groups != nil && len(merged.groups) > st.engine.cfg.MaxWorkingSet {
+		return nil, fmt.Errorf("%w: %d groups", ErrWorkingSet, len(merged.groups))
 	}
 	return merged, nil
 }
@@ -613,7 +966,7 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, level 
 // execBatch runs one level's operators for a batch of vertices on whatever
 // machine the context lives on, inside a read-only transaction at the
 // query's snapshot timestamp.
-func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *VertexPattern, terminal bool) (*levelOutput, error) {
+func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *VertexPattern, lp *LevelPlan) (*levelOutput, error) {
 	e := st.engine
 	g := st.graph
 	if e.cfg.RDMASampler != nil {
@@ -630,18 +983,29 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 		}()
 	}
 	tx := e.store.Farm().CreateReadTransactionAt(sc, st.ts)
+	terminal := lp.Terminal
 	out := &levelOutput{}
-	if terminal && len(level.Aggs) > 0 {
-		out.aggs = make([]aggState, len(level.Aggs))
+	grouped := terminal && lp.Group != nil
+	if grouped {
+		out.groups = make(map[string]*groupState)
+	} else if terminal && len(pat.Aggs) > 0 {
+		out.aggs = make([]aggState, len(pat.Aggs))
 	}
-	buildRows := terminal && (len(level.Selects) > 0 || len(level.Aggs) == 0)
-	needData := terminal || len(level.Preds) > 0 || len(level.Selects) > 0 || level.Type != ""
+	buildRows := terminal && !grouped && (len(pat.Selects) > 0 || len(pat.Aggs) == 0)
+	needData := terminal || len(pat.Preds) > 0 || len(pat.Selects) > 0 || pat.Type != ""
 	var schema *bond.Schema
 	for _, vp := range batch {
 		// Unordered _limit short-circuit: once enough rows exist anywhere
 		// in the cluster, stop reading vertices.
 		if terminal && st.rowTarget > 0 && st.rowsOut.Load() >= st.rowTarget {
 			break
+		}
+		// Index-membership filter (traversal-level pushdown): drop frontier
+		// vertices outside the indexed predicate's match set before any
+		// read.
+		if st.member != nil && !st.member[vp.Addr] {
+			st.addIndexFiltered()
+			continue
 		}
 		var vtx *core.Vertex
 		if needData {
@@ -655,7 +1019,7 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 			vtx = v
 			sc.Work(e.cfg.CostVertexRead)
 			st.addVertexRead()
-			if level.Type != "" && v.TypeName != level.Type {
+			if pat.Type != "" && v.TypeName != pat.Type {
 				continue
 			}
 			s, err := g.VertexTypeSchema(sc, v.TypeName)
@@ -663,17 +1027,17 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 				return nil, err
 			}
 			schema = s
-			if len(level.Preds) > 0 {
-				sc.Work(time.Duration(len(level.Preds)) * e.cfg.CostPredEval)
-				if !evalPredicates(v.Data, level.Preds, schema) {
+			if len(pat.Preds) > 0 {
+				sc.Work(time.Duration(len(pat.Preds)) * e.cfg.CostPredEval)
+				if !evalPredicates(v.Data, pat.Preds, schema) {
 					continue
 				}
 			}
 		} else {
 			st.addVertexRead()
 		}
-		if len(level.Matches) > 0 {
-			ok, err := st.evalMatches(sc, tx, vp, level.Matches)
+		if len(pat.Matches) > 0 {
+			ok, err := st.evalMatches(sc, tx, vp, pat.Matches)
 			if err != nil {
 				return nil, err
 			}
@@ -682,43 +1046,53 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, level *Ve
 			}
 		}
 		if terminal {
-			if len(level.Aggs) > 0 && vtx != nil {
-				for i := range level.Aggs {
-					accumAgg(&out.aggs[i], level.Aggs[i], vtx.Data, schema)
+			if grouped {
+				if vtx != nil {
+					accumGroup(out.groups, pat.GroupBy, pat.Aggs, vtx.Data, schema)
+				}
+				continue
+			}
+			if len(pat.Aggs) > 0 && vtx != nil {
+				for i := range pat.Aggs {
+					accumAgg(&out.aggs[i], pat.Aggs[i], vtx.Data, schema)
 				}
 			}
 			if !buildRows {
 				continue
 			}
 			row := Row{Vertex: vp}
-			if len(level.Selects) > 0 && vtx != nil {
-				row.Values = make(map[string]bond.Value, len(level.Selects))
-				for _, sel := range level.Selects {
+			if len(pat.Selects) > 0 && vtx != nil {
+				row.Values = make(map[string]bond.Value, len(pat.Selects))
+				for _, sel := range pat.Selects {
 					if v, ok := resolvePath(vtx.Data, sel, schema); ok {
 						row.Values[sel.Raw] = v
 					}
 				}
 			}
-			if level.Order != nil && vtx != nil {
-				row.key, row.hasKey = resolvePath(vtx.Data, level.Order.Path, schema)
+			if len(pat.Orders) > 0 && vtx != nil {
+				row.keys = make([]sortKey, len(pat.Orders))
+				for i, ob := range pat.Orders {
+					v, ok := resolvePath(vtx.Data, ob.Path, schema)
+					row.keys[i] = sortKey{val: v, ok: ok}
+				}
 			}
 			out.rows = append(out.rows, row)
 			st.rowsOut.Add(1)
 			// Ordered-limit pruning: keep this batch's working set at the
 			// top K(+skip) so large frontiers never ship large replies.
 			if st.keep > 0 && len(out.rows) >= 2*st.keep {
-				out.rows = topK(out.rows, level.Order.Desc, st.keep)
+				out.rows = topK(out.rows, pat.Orders, st.keep)
 			}
 			continue
 		}
-		next, err := st.traverseEdge(sc, tx, vp, level.Edge)
+		next, err := st.traverseEdge(sc, tx, vp, pat.Edge)
 		if err != nil {
 			return nil, err
 		}
 		out.next = append(out.next, next...)
 	}
 	if terminal && st.keep > 0 && len(out.rows) > st.keep {
-		out.rows = topK(out.rows, level.Order.Desc, st.keep)
+		out.rows = topK(out.rows, pat.Orders, st.keep)
 	}
 	return out, nil
 }
@@ -882,6 +1256,12 @@ func (st *execState) addVertexRead() {
 func (st *execState) addEdgeVisited() {
 	st.mu.Lock()
 	st.stats.EdgesVisited++
+	st.mu.Unlock()
+}
+
+func (st *execState) addIndexFiltered() {
+	st.mu.Lock()
+	st.stats.IndexFiltered++
 	st.mu.Unlock()
 }
 

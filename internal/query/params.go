@@ -83,7 +83,9 @@ func (q *Query) Bind(params Params) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{Root: root, Hints: q.Hints, ParamNames: q.ParamNames, fromCache: q.fromCache, bound: true}, nil
+	// The compiled plan is structural (operator choices + predicate
+	// positions), so the bound copy reuses it as-is.
+	return &Query{Root: root, Hints: q.Hints, ParamNames: q.ParamNames, fromCache: q.fromCache, bound: true, plan: q.plan}, nil
 }
 
 type binder struct {

@@ -1,0 +1,446 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"a1/internal/core"
+	"a1/internal/fabric"
+)
+
+// The planner: a parsed Query is lowered once into a Plan — a small tree of
+// physical operators — and exec.go interprets that tree (paper §3.4: A1 has
+// no cost-based optimizer; the plan is derived from the document's
+// structure, with user hints shaping the physical side). The split follows
+// the classical logical-plan/physical-operator architecture graph-database
+// surveys describe: compile once, execute many.
+//
+// Plans are structural: they record *which* operator serves each level and
+// *where* its inputs live in the pattern (predicate positions, field
+// names), never bound parameter values. One compilation therefore serves
+// every binding of a prepared document, and the engine's plan cache stores
+// the compiled plan alongside the AST.
+//
+// Index availability is not known at plan time (the planner has no schema
+// access, and types may gain indexes later), so index-using operators are
+// *candidates* ordered by preference; the interpreter tries each and falls
+// through on ErrNotFound. Explain, which does have a graph handle, resolves
+// the candidates against the live catalog and prints the operator that will
+// actually run.
+
+// StartPlan chooses how the root frontier is produced, from five source
+// operators: IDLookup (primary key), IndexScan (secondary-index equality),
+// OrderedIndexScan (index walk in `_orderby` order with top-K early stop),
+// IndexRangeScan (secondary-index inequality bounds), and TypeScan (full
+// primary-index scan). Candidate operators are ordered by preference; the
+// interpreter falls through when the index an operator needs does not
+// exist.
+type StartPlan struct {
+	// ByID: the root is a primary-key lookup (id or "$id" param).
+	ByID bool
+	// EqPreds indexes the root pattern's plain equality predicates, in
+	// document order — secondary-index scan candidates.
+	EqPreds []int
+	// Ordered, when non-nil, is the ordered-index-scan candidate: the
+	// terminal `_orderby` key is a plain field of the root type, so index
+	// order is result order and top-K can stop the scan early.
+	Ordered *OrderedScanPlan
+	// HasRange: plain inequality predicates exist — range-scan candidate.
+	HasRange bool
+	// ScanCapped: unfiltered, unordered, limited terminal — a full type
+	// scan may stop after _limit+_skip hits.
+	ScanCapped bool
+}
+
+// OrderedScanPlan describes the ordered index scan candidate.
+type OrderedScanPlan struct {
+	Field string // the `_orderby` field (must be secondary-indexed to serve)
+	Desc  bool
+}
+
+// IndexFilterPlan pushes an indexed predicate into a traversal level: the
+// incoming frontier is filtered by index *membership* before any vertex is
+// read, instead of materializing every neighbor.
+type IndexFilterPlan struct {
+	// EqPreds indexes the level's plain equality predicates (candidates).
+	EqPreds []int
+	// HasRange: plain inequality predicates exist (range candidate).
+	HasRange bool
+}
+
+// GroupPlan computes grouped aggregates: each worker reduces its batch to
+// per-group partial states, the coordinator merges them, and only group
+// partials — never rows — cross the fabric.
+type GroupPlan struct {
+	By []FieldPath
+}
+
+// LevelPlan is the compiled form of one traversal level.
+type LevelPlan struct {
+	Depth    int
+	Terminal bool
+	// Start is the frontier source (depth 0 only).
+	Start *StartPlan
+	// IndexFilter pre-filters the incoming frontier by index membership
+	// (depth >= 1 only, when an indexed predicate candidate exists).
+	IndexFilter *IndexFilterPlan
+	// HasFilter: the level re-evaluates predicates / type / _match against
+	// each vertex (residual filtering keeps index over-approximation safe).
+	HasFilter bool
+	// Traverse: the level feeds the next frontier through its edge pattern
+	// (nil on the terminal level).
+	Traverse bool
+	// Group computes grouped aggregates (terminal `_groupby`).
+	Group *GroupPlan
+}
+
+// Plan is a compiled query: one LevelPlan per traversal level.
+type Plan struct {
+	Levels []*LevelPlan
+}
+
+// terminalOf returns the main chain's terminal pattern.
+func terminalOf(vp *VertexPattern) *VertexPattern {
+	for vp.Edge != nil {
+		vp = vp.Edge.Vertex
+	}
+	return vp
+}
+
+// patternChain returns the main-chain patterns, one per level.
+func patternChain(root *VertexPattern) []*VertexPattern {
+	var pats []*VertexPattern
+	for vp := root; vp != nil; {
+		pats = append(pats, vp)
+		if vp.Edge == nil {
+			break
+		}
+		vp = vp.Edge.Vertex
+	}
+	return pats
+}
+
+// plainEqPreds returns the positions of equality predicates on plain
+// top-level fields — the only shape a secondary index can serve exactly.
+func plainEqPreds(preds []Predicate) []int {
+	var out []int
+	for i, p := range preds {
+		if p.Op == OpEq && !p.Path.IsMap && !p.Path.IsList && !p.Path.Wildcard {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// plainRangePreds reports whether any inequality predicate addresses a
+// plain top-level field (range-scan candidate).
+func plainRangePreds(preds []Predicate) bool {
+	for _, p := range preds {
+		switch p.Op {
+		case OpGt, OpGe, OpLt, OpLe:
+			if !p.Path.IsMap && !p.Path.IsList && !p.Path.Wildcard {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compilePlan lowers a parsed query into its physical plan.
+func compilePlan(q *Query) *Plan {
+	pats := patternChain(q.Root)
+	pl := &Plan{}
+	for depth, vp := range pats {
+		lp := &LevelPlan{
+			Depth:     depth,
+			Terminal:  vp.Edge == nil,
+			HasFilter: len(vp.Preds) > 0 || len(vp.Matches) > 0 || vp.Type != "",
+			Traverse:  vp.Edge != nil,
+		}
+		if lp.Terminal && len(vp.GroupBy) > 0 {
+			lp.Group = &GroupPlan{By: vp.GroupBy}
+		}
+		if depth == 0 {
+			lp.Start = compileStart(vp)
+		} else if vp.Type != "" {
+			// Traversal-level pushdown candidates: an indexed predicate can
+			// filter the frontier by membership before any vertex read. The
+			// type constraint is required — it names the index to consult.
+			eq := plainEqPreds(vp.Preds)
+			hasRange := plainRangePreds(vp.Preds)
+			if len(eq) > 0 || hasRange {
+				lp.IndexFilter = &IndexFilterPlan{EqPreds: eq, HasRange: hasRange}
+			}
+		}
+		pl.Levels = append(pl.Levels, lp)
+	}
+	return pl
+}
+
+// compileStart chooses the root-frontier source candidates.
+func compileStart(root *VertexPattern) *StartPlan {
+	sp := &StartPlan{}
+	if root.ID != "" || root.IDParam != "" {
+		sp.ByID = true
+		return sp
+	}
+	sp.EqPreds = plainEqPreds(root.Preds)
+	sp.HasRange = plainRangePreds(root.Preds)
+	terminal := root.Edge == nil
+	// Ordered index scan: only worthwhile (and only correct without a
+	// second pass for every keyless vertex) when a limit bounds the walk —
+	// the top-K case the operator exists for.
+	if terminal && len(root.Orders) == 1 && root.Type != "" &&
+		len(root.Aggs) == 0 && len(root.GroupBy) == 0 &&
+		(root.Limit > 0 || root.LimitParam != "") {
+		ob := root.Orders[0]
+		if !ob.Path.IsMap && !ob.Path.IsList && !ob.Path.Wildcard {
+			sp.Ordered = &OrderedScanPlan{Field: ob.Path.Field, Desc: ob.Desc}
+		}
+	}
+	if terminal && len(root.Orders) == 0 && len(root.Aggs) == 0 &&
+		len(root.GroupBy) == 0 && len(root.Preds) == 0 && len(root.Matches) == 0 &&
+		(root.Limit > 0 || root.LimitParam != "") {
+		sp.ScanCapped = true
+	}
+	return sp
+}
+
+// Plan returns q's compiled physical plan, compiling on first use for
+// queries constructed outside Parse.
+func (q *Query) Plan() *Plan {
+	if q.plan == nil {
+		q.plan = compilePlan(q)
+	}
+	return q.plan
+}
+
+// indexProbe reports whether a vertex type has a secondary index on a
+// field. Explain uses it to resolve candidate operators against the live
+// catalog; errors degrade to "not indexed".
+type indexProbe func(typeName, field string) bool
+
+// Explain renders the compiled operator tree for a query document,
+// resolving index-candidate operators against the live catalog so the
+// printed operator is the one that will run. The document may reference
+// unbound "$name" parameters; they print as placeholders.
+func (e *Engine) Explain(c *fabric.Ctx, g *core.Graph, doc []byte) (string, error) {
+	q, _, err := e.plan(doc, false)
+	if err != nil {
+		return "", err
+	}
+	probe := func(typeName, field string) bool {
+		_, secondary, err := g.VertexTypeIndexInfo(c, typeName)
+		if err != nil {
+			return false
+		}
+		for _, f := range secondary {
+			if f == field {
+				return true
+			}
+		}
+		return false
+	}
+	return q.Plan().Explain(q, probe), nil
+}
+
+// Explain formats the plan as an indented operator tree.
+func (pl *Plan) Explain(q *Query, indexed indexProbe) string {
+	pats := patternChain(q.Root)
+	var b strings.Builder
+	for i, lp := range pl.Levels {
+		if i >= len(pats) {
+			break
+		}
+		vp := pats[i]
+		indent := strings.Repeat("  ", i)
+		fmt.Fprintf(&b, "%sL%d %s\n", indent, i, describeSource(lp, vp, indexed))
+		if lp.IndexFilter != nil {
+			fmt.Fprintf(&b, "%s  IndexFilter(%s)\n", indent, describeIndexFilter(lp.IndexFilter, vp, indexed))
+		}
+		if lp.HasFilter {
+			fmt.Fprintf(&b, "%s  Filter(%s)\n", indent, describeFilter(vp))
+		}
+		if lp.Terminal {
+			for _, line := range describeTerminal(vp) {
+				fmt.Fprintf(&b, "%s  %s\n", indent, line)
+			}
+		} else {
+			ep := vp.Edge
+			dir := "out"
+			if !ep.Out {
+				dir = "in"
+			}
+			fmt.Fprintf(&b, "%s  Traverse(%s %s)\n", indent, dir, ep.Type)
+		}
+	}
+	return b.String()
+}
+
+// describeSource names the operator producing a level's vertices.
+func describeSource(lp *LevelPlan, vp *VertexPattern, indexed indexProbe) string {
+	if lp.Start == nil {
+		return "Frontier"
+	}
+	sp := lp.Start
+	if sp.ByID {
+		id := vp.ID
+		if vp.IDParam != "" {
+			id = "$" + vp.IDParam
+		}
+		return fmt.Sprintf("IDLookup(id=%q)", id)
+	}
+	for _, pi := range sp.EqPreds {
+		p := vp.Preds[pi]
+		if indexed(vp.Type, p.Path.Field) {
+			return fmt.Sprintf("IndexScan(%s.%s = %s)", vp.Type, p.Path.Field, predValue(p))
+		}
+	}
+	if sp.Ordered != nil && indexed(vp.Type, sp.Ordered.Field) {
+		dir := "asc"
+		if sp.Ordered.Desc {
+			dir = "desc"
+		}
+		stop := ""
+		if vp.Limit > 0 {
+			stop = fmt.Sprintf(", stop after %d", vp.Limit+vp.Skip)
+		} else if vp.LimitParam != "" {
+			stop = ", stop after $" + vp.LimitParam
+		}
+		return fmt.Sprintf("OrderedIndexScan(%s.%s %s%s)", vp.Type, sp.Ordered.Field, dir, stop)
+	}
+	if sp.HasRange {
+		for _, p := range vp.Preds {
+			switch p.Op {
+			case OpGt, OpGe, OpLt, OpLe:
+				if !p.Path.IsMap && !p.Path.IsList && !p.Path.Wildcard && indexed(vp.Type, p.Path.Field) {
+					return fmt.Sprintf("IndexRangeScan(%s.%s)", vp.Type, p.Path.Field)
+				}
+			}
+		}
+	}
+	cap := ""
+	if sp.ScanCapped {
+		cap = ", capped"
+	}
+	return fmt.Sprintf("TypeScan(%s%s)", vp.Type, cap)
+}
+
+// describeIndexFilter resolves which membership index a traversal level
+// would consult.
+func describeIndexFilter(ifp *IndexFilterPlan, vp *VertexPattern, indexed indexProbe) string {
+	for _, pi := range ifp.EqPreds {
+		p := vp.Preds[pi]
+		if indexed(vp.Type, p.Path.Field) {
+			return fmt.Sprintf("%s.%s = %s", vp.Type, p.Path.Field, predValue(p))
+		}
+	}
+	if ifp.HasRange {
+		for _, p := range vp.Preds {
+			switch p.Op {
+			case OpGt, OpGe, OpLt, OpLe:
+				if !p.Path.IsMap && !p.Path.IsList && !p.Path.Wildcard && indexed(vp.Type, p.Path.Field) {
+					return fmt.Sprintf("%s.%s range", vp.Type, p.Path.Field)
+				}
+			}
+		}
+	}
+	return "no usable index; full reads"
+}
+
+// describeFilter summarizes a level's residual predicates.
+func describeFilter(vp *VertexPattern) string {
+	var parts []string
+	if vp.Type != "" {
+		parts = append(parts, "_type="+vp.Type)
+	}
+	for _, p := range vp.Preds {
+		parts = append(parts, fmt.Sprintf("%s %s %s", p.Path.Raw, opName(p.Op), predValue(p)))
+	}
+	if len(vp.Matches) > 0 {
+		parts = append(parts, fmt.Sprintf("%d _match", len(vp.Matches)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// describeTerminal lists the terminal level's shaping operators.
+func describeTerminal(vp *VertexPattern) []string {
+	var lines []string
+	if len(vp.GroupBy) > 0 {
+		var keys, aggs []string
+		for _, fp := range vp.GroupBy {
+			keys = append(keys, fp.Raw)
+		}
+		for _, a := range vp.Aggs {
+			aggs = append(aggs, a.Raw)
+		}
+		lines = append(lines, fmt.Sprintf("GroupAgg(by %s: %s)",
+			strings.Join(keys, ", "), strings.Join(aggs, ", ")))
+	} else if len(vp.Aggs) > 0 {
+		var aggs []string
+		for _, a := range vp.Aggs {
+			aggs = append(aggs, a.Raw)
+		}
+		lines = append(lines, fmt.Sprintf("Aggregate(%s)", strings.Join(aggs, ", ")))
+	}
+	var shape []string
+	if len(vp.Orders) > 0 {
+		var keys []string
+		for _, ob := range vp.Orders {
+			k := ob.Path.Raw
+			if ob.Desc {
+				k = "-" + k
+			}
+			keys = append(keys, k)
+		}
+		shape = append(shape, "orderby "+strings.Join(keys, ", "))
+	}
+	if vp.Limit > 0 {
+		shape = append(shape, fmt.Sprintf("limit %d", vp.Limit))
+	} else if vp.LimitParam != "" {
+		shape = append(shape, "limit $"+vp.LimitParam)
+	}
+	if vp.Skip > 0 {
+		shape = append(shape, fmt.Sprintf("skip %d", vp.Skip))
+	} else if vp.SkipParam != "" {
+		shape = append(shape, "skip $"+vp.SkipParam)
+	}
+	if len(vp.Selects) > 0 {
+		var sels []string
+		for _, s := range vp.Selects {
+			sels = append(sels, s.Raw)
+		}
+		shape = append(shape, "select "+strings.Join(sels, ", "))
+	}
+	if len(shape) > 0 {
+		lines = append(lines, "Shape("+strings.Join(shape, "; ")+")")
+	}
+	return lines
+}
+
+func predValue(p Predicate) string {
+	if p.Param != "" {
+		return "$" + p.Param
+	}
+	return fmt.Sprintf("%v", p.Value)
+}
+
+func opName(op Op) string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpPrefix:
+		return "prefix"
+	}
+	return "?"
+}

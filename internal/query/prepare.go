@@ -1,6 +1,8 @@
 package query
 
 import (
+	"bytes"
+	"encoding/json"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -11,17 +13,44 @@ import (
 
 // Prepared queries and the engine-side plan cache (paper §2.2 motivation:
 // frontends parse and plan the same query shapes on every request; caching
-// the parsed AST keyed by document hash removes that work). Both entry
+// the compiled plan keyed by document hash removes that work). Both entry
 // points share the cache: Execute consults it transparently, and Prepare
 // returns a handle that re-executes with new bind values and zero parses.
+//
+// Cache keys are *structural*: the document is canonicalized (JSON
+// re-serialized with sorted object keys and no insignificant whitespace)
+// before hashing, so ad-hoc clients that format the same query differently
+// — extra whitespace, reordered keys — still hit the cached plan.
 
 // planCacheCap bounds the cache; eviction is FIFO (query workloads are a
 // small set of shapes executed many times, so recency hardly matters).
 const planCacheCap = 1024
 
 type planEntry struct {
-	doc string // full document, compared on lookup so hash collisions miss
+	doc string // canonical document, compared on lookup so hash collisions miss
 	q   *Query
+}
+
+// canonicalDoc reduces a document to its structural identity: decoded as
+// JSON (numbers kept verbatim via json.Number) and re-serialized, which
+// sorts object keys and strips whitespace. Anything that fails to decode —
+// malformed documents, trailing garbage — keys by its raw bytes, so the
+// cache still serves (and the parse error is still reported per shape).
+func canonicalDoc(doc []byte) []byte {
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.UseNumber()
+	var v interface{}
+	if err := dec.Decode(&v); err != nil {
+		return doc
+	}
+	if dec.More() {
+		return doc
+	}
+	canon, err := json.Marshal(v)
+	if err != nil {
+		return doc
+	}
+	return canon
 }
 
 type planCache struct {
@@ -42,26 +71,26 @@ func docHash(doc []byte) uint64 {
 	return h.Sum64()
 }
 
-// lookup finds a cached plan; the caller accounts hits/misses (a hit is
-// counted per *execution* served without a parse, so Prepare lookups stay
-// silent and Bind counts instead).
-func (pc *planCache) lookup(doc []byte) (*Query, bool) {
-	key := docHash(doc)
+// lookup finds a cached plan by a document's canonical form; the caller
+// accounts hits/misses (a hit is counted per *execution* served without a
+// parse, so Prepare lookups stay silent and Bind counts instead).
+func (pc *planCache) lookup(canon []byte) (*Query, bool) {
+	key := docHash(canon)
 	pc.mu.Lock()
 	e, ok := pc.entries[key]
 	pc.mu.Unlock()
-	if ok && e.doc == string(doc) {
+	if ok && e.doc == string(canon) {
 		return e.q, true
 	}
 	return nil, false
 }
 
-func (pc *planCache) store(doc []byte, q *Query) {
-	key := docHash(doc)
+func (pc *planCache) store(canon []byte, q *Query) {
+	key := docHash(canon)
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if _, ok := pc.entries[key]; ok {
-		pc.entries[key] = &planEntry{doc: string(doc), q: q}
+		pc.entries[key] = &planEntry{doc: string(canon), q: q}
 		return
 	}
 	for len(pc.entries) >= planCacheCap {
@@ -69,17 +98,19 @@ func (pc *planCache) store(doc []byte, q *Query) {
 		pc.order = pc.order[1:]
 		delete(pc.entries, oldest)
 	}
-	pc.entries[key] = &planEntry{doc: string(doc), q: q}
+	pc.entries[key] = &planEntry{doc: string(canon), q: q}
 	pc.order = append(pc.order, key)
 }
 
-// plan resolves a document to a parsed query through the cache. cached
-// reports whether the plan was served without parsing. countHit is true
-// for execution paths (Execute); Prepare passes false because its hits
-// are counted per Exec by Bind, so one prepared execution never counts
-// twice.
+// plan resolves a document to a compiled query through the cache, keyed by
+// the document's canonical (whitespace- and key-order-insensitive) form.
+// cached reports whether the plan was served without parsing. countHit is
+// true for execution paths (Execute); Prepare passes false because its
+// hits are counted per Exec by Bind, so one prepared execution never
+// counts twice.
 func (e *Engine) plan(doc []byte, countHit bool) (q *Query, cached bool, err error) {
-	if q, ok := e.plans.lookup(doc); ok {
+	canon := canonicalDoc(doc)
+	if q, ok := e.plans.lookup(canon); ok {
 		if countHit {
 			e.plans.hits.Add(1)
 		}
@@ -90,7 +121,7 @@ func (e *Engine) plan(doc []byte, countHit bool) (q *Query, cached bool, err err
 	if err != nil {
 		return nil, false, err
 	}
-	e.plans.store(doc, q)
+	e.plans.store(canon, q)
 	return q, false, nil
 }
 

@@ -211,22 +211,59 @@ func TestExecutePlanCache(t *testing.T) {
 	if second.Count != first.Count {
 		t.Errorf("cached plan count %d != %d", second.Count, first.Count)
 	}
-	// Byte-different documents miss (the cache keys raw bytes).
+	// The cache keys the canonicalized document: whitespace variants of the
+	// same query hit the cached plan.
 	variant := append([]byte(q1), ' ')
 	third, err := env.engine.Execute(env.c, env.graph, variant)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if third.Stats.PlanCacheHits != 0 {
-		t.Errorf("variant document PlanCacheHits = %d, want 0", third.Stats.PlanCacheHits)
+	if third.Stats.PlanCacheHits != 1 {
+		t.Errorf("whitespace variant PlanCacheHits = %d, want 1 (structural key)", third.Stats.PlanCacheHits)
+	}
+	// Structurally different documents still miss.
+	other, err := env.engine.Execute(env.c, env.graph, []byte(
+		`{"id": "steven.spielberg", "_out_edge": {"_type": "director.film", "_vertex": {"_select": ["id"]}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Stats.PlanCacheHits != 0 {
+		t.Errorf("different document PlanCacheHits = %d, want 0", other.Stats.PlanCacheHits)
+	}
+}
+
+func TestPlanCacheStructuralKey(t *testing.T) {
+	// Whitespace and key-order variants of one query share a cache entry.
+	env := newTestEnv(t, 9)
+	base := `{"_type": "entity", "str_str_map[kind]": "film", "_select": ["id"], "_limit": 3}`
+	if _, err := env.engine.Execute(env.c, env.graph, []byte(base)); err != nil {
+		t.Fatal(err)
+	}
+	variants := []string{
+		"  { \"_type\" : \"entity\",\n  \"str_str_map[kind]\" : \"film\",\n  \"_select\" : [\"id\"], \"_limit\" : 3 }\n",
+		`{"_limit": 3, "_select": ["id"], "str_str_map[kind]": "film", "_type": "entity"}`,
+	}
+	for _, v := range variants {
+		res, err := env.engine.Execute(env.c, env.graph, []byte(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PlanCacheHits != 1 {
+			t.Errorf("variant %q PlanCacheHits = %d, want 1", v, res.Stats.PlanCacheHits)
+		}
+	}
+	hits, misses := env.engine.PlanCacheStats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 2/1", hits, misses)
 	}
 }
 
 func TestSimPlanCacheSkipsCostParse(t *testing.T) {
-	// In Sim mode a plan-cache hit's latency drops by CostParse versus the
-	// byte-variant miss executing the identical plan. CostParse is raised
-	// far above the fabric's read-latency noise, and the tolerance covers
-	// the simulator's deterministic +0..25% CPU-work jitter.
+	// In Sim mode a plan-cache hit's latency drops by CostParse versus a
+	// forced miss executing the identical plan (its entry is evicted
+	// between runs). CostParse is raised far above the fabric's
+	// read-latency noise, and the tolerance covers the simulator's
+	// deterministic +0..25% CPU-work jitter.
 	costParse := 10 * time.Millisecond
 	var eng *Engine
 	var graph *core.Graph
@@ -239,14 +276,10 @@ func TestSimPlanCacheSkipsCostParse(t *testing.T) {
 	simEnv := &simEnvT{engine: eng, graph: graph, run: run}
 	doc := `{"id": "steven.spielberg", "_out_edge": {"_type": "director.film",
 		"_vertex": {"_select": ["_count(*)"]}}}`
-	variant := doc + " "
 	var warmErr error
 	simEnv.run(func(c *fabric.Ctx) {
-		// Warm caches and install both plans.
+		// Warm caches and install the plan.
 		if _, err := simEnv.engine.Execute(c, simEnv.graph, []byte(doc)); err != nil {
-			warmErr = err
-		}
-		if _, err := simEnv.engine.Execute(c, simEnv.graph, []byte(variant)); err != nil {
 			warmErr = err
 		}
 	})
@@ -267,11 +300,12 @@ func TestSimPlanCacheSkipsCostParse(t *testing.T) {
 	if warmErr != nil {
 		t.Fatal(warmErr)
 	}
+	// Evict the plan (by its canonical key) so the same document misses.
 	simEnv.engine.plans.mu.Lock()
-	delete(simEnv.engine.plans.entries, docHash([]byte(variant)))
+	delete(simEnv.engine.plans.entries, docHash(canonicalDoc([]byte(doc))))
 	simEnv.engine.plans.mu.Unlock()
 	simEnv.run(func(c *fabric.Ctx) {
-		res, err := simEnv.engine.Execute(c, simEnv.graph, []byte(variant))
+		res, err := simEnv.engine.Execute(c, simEnv.graph, []byte(doc))
 		if err != nil {
 			warmErr = err
 			return

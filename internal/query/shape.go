@@ -6,9 +6,10 @@ import (
 	"a1/internal/bond"
 )
 
-// Result shaping: distributed partial aggregation and ordered top-K
-// merging. Each worker batch reduces its slice of the terminal frontier to
-// either scalars (aggregates) or a pruned, locally ordered row prefix
+// Result shaping: distributed partial aggregation (scalar and grouped) and
+// ordered top-K merging. Each worker batch reduces its slice of the
+// terminal frontier to scalars (aggregates), per-group partial states
+// (grouped aggregates), or a pruned, locally ordered row prefix
 // (orderby+limit); the coordinator merges the shipped partials. This keeps
 // the bytes returned per RPC proportional to the answer, not to the
 // frontier (paper §3.4 ships operators to data for the same reason).
@@ -123,16 +124,133 @@ func finalizeAggs(states []aggState, aggs []Aggregate) map[string]bond.Value {
 	return out
 }
 
-// rowLess orders terminal rows by their _orderby key. Rows missing the key
-// sort after keyed rows; ties (and incomparable kinds) break on the stable
-// vertex address so distributed merges are deterministic.
-func rowLess(a, b *Row, desc bool) bool {
-	if a.hasKey != b.hasKey {
-		return a.hasKey
+// Grouped aggregates: workers reduce their batches to per-group partial
+// states keyed by the group key's order-preserving encoding, the
+// coordinator merges states group by group, and only ⟨key, partials⟩ pairs
+// — never rows — cross the fabric.
+
+// groupState is one group's partial aggregates plus its key values.
+type groupState struct {
+	keys []bond.Value
+	aggs []aggState
+}
+
+// appendGroupKey appends one key component's canonical encoding. Scalar
+// kinds use the order-preserving index encoding, so byte-sorting encoded
+// keys yields value-sorted groups; composite values (lists, maps) group by
+// their serialized image — deterministic, though byte order is not value
+// order for them.
+func appendGroupKey(b []byte, v bond.Value) []byte {
+	switch v.Kind() {
+	case bond.KindNone, bond.KindBool, bond.KindInt32, bond.KindInt64, bond.KindDate,
+		bond.KindUInt64, bond.KindFloat, bond.KindDouble, bond.KindString, bond.KindBlob:
+		return bond.OrderedEncode(b, v)
+	default:
+		b = append(b, 0xFE)
+		return append(b, bond.Marshal(v)...)
 	}
-	if a.hasKey {
-		if cmp, ok := compareValues(a.key, b.key); ok && cmp != 0 {
-			if desc {
+}
+
+// groupKeyOf resolves a vertex's group key values and their encoding. A
+// missing key component groups under Null.
+func groupKeyOf(data bond.Value, by []FieldPath, schema *bond.Schema) ([]bond.Value, string) {
+	keys := make([]bond.Value, len(by))
+	var enc []byte
+	for i, fp := range by {
+		v, ok := resolvePath(data, fp, schema)
+		if !ok {
+			v = bond.Null
+		}
+		keys[i] = v
+		enc = appendGroupKey(enc, v)
+	}
+	return keys, string(enc)
+}
+
+// accumGroup folds one vertex into a batch's group states.
+func accumGroup(groups map[string]*groupState, by []FieldPath, aggs []Aggregate, data bond.Value, schema *bond.Schema) {
+	keys, enc := groupKeyOf(data, by, schema)
+	gs := groups[enc]
+	if gs == nil {
+		gs = &groupState{keys: keys, aggs: make([]aggState, len(aggs))}
+		groups[enc] = gs
+	}
+	for i := range aggs {
+		accumAgg(&gs.aggs[i], aggs[i], data, schema)
+	}
+}
+
+// mergeGroupStates folds a batch's group partials into the coordinator's
+// running map.
+func mergeGroupStates(dst, src map[string]*groupState, aggs []Aggregate) {
+	for k, s := range src {
+		d := dst[k]
+		if d == nil {
+			dst[k] = s
+			continue
+		}
+		mergeAggStates(d.aggs, s.aggs, aggs)
+	}
+}
+
+// GroupRow is one `_groupby` result group: its key values (keyed by the
+// `_groupby` entry verbatim) and its finalized aggregates (keyed by the
+// `_select` entry verbatim).
+type GroupRow struct {
+	Keys       map[string]bond.Value
+	Aggregates map[string]bond.Value
+}
+
+// finalizeGroups converts merged group states into sorted result groups
+// (ascending by group key).
+func finalizeGroups(groups map[string]*groupState, by []FieldPath, aggs []Aggregate) []GroupRow {
+	encs := make([]string, 0, len(groups))
+	for k := range groups {
+		encs = append(encs, k)
+	}
+	sort.Strings(encs)
+	out := make([]GroupRow, 0, len(encs))
+	for _, enc := range encs {
+		gs := groups[enc]
+		gr := GroupRow{
+			Keys:       make(map[string]bond.Value, len(by)),
+			Aggregates: finalizeAggs(gs.aggs, aggs),
+		}
+		for i, fp := range by {
+			gr.Keys[fp.Raw] = gs.keys[i]
+		}
+		out = append(out, gr)
+	}
+	return out
+}
+
+// sortKey is one resolved `_orderby` key of a row.
+type sortKey struct {
+	val bond.Value
+	ok  bool
+}
+
+// rowLess orders terminal rows by their `_orderby` keys, most significant
+// first. Rows missing a key sort after keyed rows on that component; ties
+// (and incomparable kinds) fall through to the next key and finally break
+// on the stable vertex address so distributed merges are deterministic.
+func rowLess(a, b *Row, orders []OrderBy) bool {
+	for i := range orders {
+		var ak, bk sortKey
+		if i < len(a.keys) {
+			ak = a.keys[i]
+		}
+		if i < len(b.keys) {
+			bk = b.keys[i]
+		}
+		if ak.ok != bk.ok {
+			return ak.ok
+		}
+		if !ak.ok {
+			continue
+		}
+		if cmp, ok := compareValues(ak.val, bk.val); ok && cmp != 0 {
+			if orders[i].Desc {
 				return cmp > 0
 			}
 			return cmp < 0
@@ -141,16 +259,16 @@ func rowLess(a, b *Row, desc bool) bool {
 	return a.Vertex.Addr < b.Vertex.Addr
 }
 
-// sortRows orders rows by their _orderby key.
-func sortRows(rows []Row, desc bool) {
-	sort.Slice(rows, func(i, j int) bool { return rowLess(&rows[i], &rows[j], desc) })
+// sortRows orders rows by their `_orderby` keys.
+func sortRows(rows []Row, orders []OrderBy) {
+	sort.Slice(rows, func(i, j int) bool { return rowLess(&rows[i], &rows[j], orders) })
 }
 
 // topK sorts rows and keeps the best k — the pruning step both workers
 // (before shipping) and the coordinator (while merging) apply when
 // _orderby and _limit are present.
-func topK(rows []Row, desc bool, k int) []Row {
-	sortRows(rows, desc)
+func topK(rows []Row, orders []OrderBy, k int) []Row {
+	sortRows(rows, orders)
 	if len(rows) > k {
 		rows = rows[:k]
 	}

@@ -27,8 +27,8 @@ func TestParseResultShaping(t *testing.T) {
 	if vp.Limit != 5 || vp.Skip != 2 {
 		t.Errorf("limit/skip = %d/%d", vp.Limit, vp.Skip)
 	}
-	if vp.Order == nil || !vp.Order.Desc || vp.Order.Path.Field != "popularity" {
-		t.Errorf("order = %+v", vp.Order)
+	if len(vp.Orders) != 1 || !vp.Orders[0].Desc || vp.Orders[0].Path.Field != "popularity" {
+		t.Errorf("order = %+v", vp.Orders)
 	}
 	if len(vp.Aggs) != 2 || vp.Aggs[0].Kind != AggCount || vp.Aggs[1].Kind != AggSum {
 		t.Errorf("aggs = %+v", vp.Aggs)
@@ -45,8 +45,8 @@ func TestParseResultShaping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Root.Order == nil || q.Root.Order.Desc || !q.Root.Order.Path.IsList {
-		t.Errorf("object orderby = %+v", q.Root.Order)
+	if len(q.Root.Orders) != 1 || q.Root.Orders[0].Desc || !q.Root.Orders[0].Path.IsList {
+		t.Errorf("object orderby = %+v", q.Root.Orders)
 	}
 
 	bad := []string{
