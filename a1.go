@@ -42,6 +42,7 @@ import (
 	"a1/internal/objectstore"
 	"a1/internal/query"
 	"a1/internal/sim"
+	"a1/internal/stats"
 	"a1/internal/task"
 )
 
@@ -72,6 +73,14 @@ type (
 	GroupRow = query.GroupRow
 	// QueryStats describes a query's execution.
 	QueryStats = query.Stats
+	// LevelStats is one traversal level's estimated-vs-actual accounting
+	// (QueryStats.Levels).
+	LevelStats = query.LevelStats
+	// GraphStatistics is a graph's live cluster-wide statistics: per-type
+	// vertex counts, per-indexed-field distinct/heavy-hitter estimates, and
+	// per-edge-label mean out-degrees — the numbers the cost-based planner
+	// runs on.
+	GraphStatistics = stats.GraphSummary
 	// Params carries bind values for a parameterized query ("$name"
 	// placeholders in id, predicate constants, _limit and _skip).
 	Params = query.Params
@@ -387,10 +396,26 @@ func (pq *PreparedQuery) ExecRows(c *Ctx, params Params) (*Rows, error) {
 // executing it: the frontier source (IDLookup / IndexScan /
 // OrderedIndexScan / IndexRangeScan / TypeScan), per-level filters and
 // index pushdown, traversals, and terminal shaping/grouping. Index-using
-// operators are resolved against the graph's live catalog, so the printed
-// operator is the one that will run.
+// operators are resolved against the graph's live catalog and ranked
+// against live statistics, so the printed operator — annotated with its
+// estimated cardinality (`est=N`) — is the one that will run. After
+// execution, QueryStats.Levels carries the matching actuals.
 func (db *DB) Explain(c *Ctx, g *Graph, doc string) (string, error) {
 	return db.engine.Explain(c, g, []byte(doc))
+}
+
+// Stats returns a graph's live statistics as seen by the calling machine.
+// The numbers are maintained incrementally on every committed mutation and
+// aggregated across machines on demand; the coordinator caches the
+// aggregate for the proxy TTL, so the view may be one TTL stale.
+func (db *DB) Stats(c *Ctx, g *Graph) *GraphStatistics {
+	return db.store.StatsSummary(c, g.Tenant(), g.Name())
+}
+
+// Analyze rebuilds a graph's statistics exactly from a full scan,
+// repairing incremental-sketch drift, and returns the fresh summary.
+func (db *DB) Analyze(c *Ctx, g *Graph) (*GraphStatistics, error) {
+	return g.Analyze(c)
 }
 
 // Fetch retrieves the next page behind a continuation token.

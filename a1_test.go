@@ -467,3 +467,64 @@ func TestPublicAPIExplainAndGroupBy(t *testing.T) {
 		}
 	})
 }
+
+func TestGraphStatisticsAndAnalyze(t *testing.T) {
+	db := openTestDB(t, Options{})
+	db.Run(func(c *Ctx) {
+		g := setupFilmGraph(t, db, c)
+		err := db.Transaction(c, func(tx *Tx) error {
+			for i := 0; i < 20; i++ {
+				origin := "usa"
+				if i >= 15 {
+					origin = "uk"
+				}
+				if _, err := g.CreateVertex(tx, "person", Record(
+					FV(0, Str(fmt.Sprintf("p%02d", i))), FV(1, Str(origin)),
+				)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := db.Analyze(c, g) // bypass the TTL cache for a fresh view
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, ok := sum.TypeCount("person"); !ok || n != 20 {
+			t.Fatalf("person count = %d/%v, want 20", n, ok)
+		}
+		fs, ok := sum.FieldStats("person", "origin")
+		if !ok || fs.Count != 20 {
+			t.Fatalf("origin stats = %+v/%v, want 20 values", fs, ok)
+		}
+		if db.Stats(c, g) == nil {
+			t.Fatal("Stats returned nil")
+		}
+
+		// Estimated-vs-actual per level surfaces in query stats, and the
+		// cost-based planner annotates Explain with est=.
+		res, err := db.Query(c, g, `{"_type": "person", "origin": "usa", "_select": ["_count(*)"]}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 15 {
+			t.Fatalf("count = %d, want 15", res.Count)
+		}
+		if len(res.Stats.Levels) != 1 || res.Stats.Levels[0].ActRows != 15 {
+			t.Fatalf("Levels = %+v, want one level with act=15", res.Stats.Levels)
+		}
+		if res.Stats.Levels[0].EstRows < 1 {
+			t.Fatalf("Levels[0].EstRows = %d, want an estimate", res.Stats.Levels[0].EstRows)
+		}
+		plan, err := db.Explain(c, g, `{"_type": "person", "origin": "usa", "_select": ["_count(*)"]}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "est=") {
+			t.Errorf("Explain lacks est= annotation:\n%s", plan)
+		}
+	})
+}

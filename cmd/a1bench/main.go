@@ -49,6 +49,7 @@ var experiments = []experiment{
 	{"pushdown", "result-shaping pushdown: _limit / aggregate scalar shipping wins", single(bench.Pushdown)},
 	{"plancache", "prepared statements: parse-once plan cache vs per-request parsing", single(bench.PlanCache)},
 	{"groupby", "grouped-aggregate pushdown vs coordinator-side grouping", single(bench.GroupBy)},
+	{"planner", "cost-based vs structural access-path choice on the Zipf-skewed workload", single(bench.Planner)},
 }
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 		queries   = flag.Int("queries", 0, "override queries per load point")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		list      = flag.Bool("list", false, "list experiments and exit")
+		quick     = flag.Bool("quick", false, "smoke mode: tiny cluster and query counts so every experiment runs in seconds (CI)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,12 @@ func main() {
 	}
 	spec := bench.DefaultSpec(scale)
 	spec.Seed = *seed
+	if *quick {
+		spec.Machines = 10
+		spec.Racks = 3
+		spec.Rates = []float64{400, 800}
+		spec.QueriesPerPt = 25
+	}
 	if *machines > 0 {
 		spec.Machines = *machines
 	}

@@ -19,7 +19,7 @@
 // re-running a shape (with the same or different bindings) skips the
 // parse; the stats line shows [plan cache hit] when it did.
 //
-// Shell commands: :help :let :unlet :explain :stats :examples :quit
+// Shell commands: :help :let :unlet :explain :analyze :stats :examples :quit
 package main
 
 import (
@@ -264,6 +264,60 @@ func (sh *shell) runQuery(doc string) {
 		}
 		fmt.Printf("(%d hops, %d vertices, %d objects read, %.0f%% local, %d rpcs%s)\n",
 			s.Hops, s.VerticesRead, s.ObjectsRead, s.LocalFrac*100, s.RPCs, cacheNote)
+		if len(s.Levels) > 0 {
+			var parts []string
+			for _, lv := range s.Levels {
+				est := "est=?"
+				if lv.EstRows >= 0 {
+					est = fmt.Sprintf("est=%d", lv.EstRows)
+				}
+				parts = append(parts, fmt.Sprintf("L%d %s %s act=%d", lv.Depth, lv.Source, est, lv.ActRows))
+			}
+			fmt.Printf("plan: %s\n", strings.Join(parts, " | "))
+		}
+	})
+}
+
+// analyze rebuilds the graph's statistics from a full scan and prints the
+// summary the planner runs on.
+func (sh *shell) analyze() {
+	sh.db.Run(func(c *a1.Ctx) {
+		sum, err := sh.db.Analyze(c, sh.g)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		types := make([]string, 0, len(sum.Types))
+		for name := range sum.Types {
+			types = append(types, name)
+		}
+		sort.Strings(types)
+		for _, name := range types {
+			ts := sum.Types[name]
+			fmt.Printf("type %s: %d vertices\n", name, ts.Count)
+			fields := make([]string, 0, len(ts.Fields))
+			for f := range ts.Fields {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			for _, f := range fields {
+				fs := ts.Fields[f]
+				line := fmt.Sprintf("  %s: %d values, ~%d distinct", f, fs.Count, fs.Distinct)
+				if len(fs.TopK) > 0 {
+					line += fmt.Sprintf(", top %v (%d)", fs.TopK[0].Value, fs.TopK[0].Count)
+				}
+				fmt.Println(line)
+			}
+		}
+		labels := make([]string, 0, len(sum.Edges))
+		for name := range sum.Edges {
+			labels = append(labels, name)
+		}
+		sort.Strings(labels)
+		for _, name := range labels {
+			es := sum.Edges[name]
+			fmt.Printf("edge %s: %d edges, mean out-degree %.1f\n", name, es.Count, es.MeanOutDegree())
+		}
 	})
 }
 
@@ -317,6 +371,8 @@ func (sh *shell) command(cmd string) bool {
 		}
 		sh.explainNext = true
 		fmt.Println("explain armed: the next document prints its operator tree instead of executing")
+	case ":analyze":
+		sh.analyze()
 	case ":stats":
 		m := &sh.db.Fabric().Metrics
 		hits, misses := sh.db.Engine().PlanCacheStats()
@@ -345,7 +401,8 @@ func (sh *shell) command(cmd string) bool {
 		fmt.Println(":let               list parameter bindings")
 		fmt.Println(":let name value    bind $name (value is JSON: 42, 3.5, \"str\", true)")
 		fmt.Println(":unlet name        remove a binding")
-		fmt.Println(":explain [doc]     print the compiled operator tree (no doc: applies to the next document)")
+		fmt.Println(":explain [doc]     print the compiled operator tree with est=N cardinalities (no doc: applies to the next document)")
+		fmt.Println(":analyze           rebuild graph statistics from a full scan and print them")
 		fmt.Println(":stats             cluster + fabric + plan cache counters")
 		fmt.Println(":examples          the paper's Table 2 queries plus shaping/parameter examples")
 		fmt.Println(":quit              exit")

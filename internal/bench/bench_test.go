@@ -305,3 +305,28 @@ func TestGroupByMeasurement(t *testing.T) {
 		t.Errorf("pushdown bytes %v >= baseline bytes %v", push[3], base[3])
 	}
 }
+
+func TestPlannerAccessPathChoice(t *testing.T) {
+	r, err := Planner(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	// Rows: [tail/structural, hot/structural, tail/cost, hot/cost].
+	structHot, costHot := r.Rows[1], r.Rows[3]
+	if structHot[4] != costHot[4] {
+		t.Errorf("row counts differ: structural %v vs cost-based %v", structHot[4], costHot[4])
+	}
+	// The acceptance bar: on the skewed shape the cost-based planner picks
+	// a cheaper access path with at least 2x fewer vertex reads.
+	if costHot[2]*2 > structHot[2] {
+		t.Errorf("cost-based hot reads %v vs structural %v, want ≥2x fewer", costHot[2], structHot[2])
+	}
+	// Tail shape: both pick the selective equality index, so reads match.
+	structTail, costTail := r.Rows[0], r.Rows[2]
+	if costTail[2] > 2*structTail[2] {
+		t.Errorf("tail reads diverge: cost %v vs structural %v", costTail[2], structTail[2])
+	}
+}

@@ -434,6 +434,7 @@ func (g *Graph) CreateEdge(tx *farm.Tx, src VertexPtr, etypeName string, dst Ver
 	if err := g.addHalfEdge(tx, gm, dst, DirIn, et.ID, src, dataPtr); err != nil {
 		return err
 	}
+	g.statsEdgeAdded(tx, src, etypeName)
 	if l := g.store.updateLogger(); l != nil {
 		key, err := g.edgeKeyOf(tx, src, etypeName, dst)
 		if err != nil {
@@ -486,6 +487,7 @@ func (g *Graph) DeleteEdge(tx *farm.Tx, src VertexPtr, etypeName string, dst Ver
 			return false, err
 		}
 	}
+	g.statsEdgeRemoved(tx, src, etypeName)
 	return true, nil
 }
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"a1/internal/bond"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+// freshSummary reads the stats summary bypassing the coordinator TTL cache
+// (tests mutate and read back faster than the proxy TTL).
+func freshSummary(s *Store, c *fabric.Ctx, g *Graph) map[string]int64 {
+	s.StatsTracker().Invalidate(statsKey(g.tenant, g.name))
+	sum := s.StatsSummary(c, g.tenant, g.name)
+	out := map[string]int64{}
+	for name, ts := range sum.Types {
+		out[name] = ts.Count
+	}
+	return out
+}
+
+func TestStatsMaintainedOnWritePath(t *testing.T) {
+	s, g, c := testGraph(t, 5)
+	var actors []VertexPtr
+	for i := 0; i < 10; i++ {
+		origin := "usa"
+		if i >= 7 {
+			origin = "uk"
+		}
+		actors = append(actors, mustCreateVertex(t, g, c, "actor", actorVal(actorName(i), origin)))
+	}
+	film := mustCreateVertex(t, g, c, "film", filmVal("jaws", "thriller"))
+	for i := 0; i < 6; i++ {
+		mustCreateEdge(t, g, c, film, "film.actor", actors[i], bond.Null)
+	}
+
+	counts := freshSummary(s, c, g)
+	if counts["actor"] != 10 || counts["film"] != 1 {
+		t.Fatalf("type counts = %v, want actor=10 film=1", counts)
+	}
+	s.StatsTracker().Invalidate(statsKey(g.tenant, g.name))
+	sum := s.StatsSummary(c, g.tenant, g.name)
+	fs, ok := sum.FieldStats("actor", "origin")
+	if !ok {
+		t.Fatal("no stats for indexed field actor.origin")
+	}
+	if fs.Count != 10 {
+		t.Fatalf("origin value count = %d, want 10", fs.Count)
+	}
+	if est := fs.EqEstimate(bond.String("usa")); est < 5 || est > 9 {
+		t.Fatalf("EqEstimate(usa) = %.1f, want ≈7", est)
+	}
+	if deg, ok := sum.MeanOutDegree("film.actor"); !ok || deg < 5 || deg > 7 {
+		t.Fatalf("MeanOutDegree(film.actor) = %.1f/%v, want ≈6", deg, ok)
+	}
+
+	// Update: origin change moves the value between sketch buckets.
+	err := farm.RunTransaction(c, s.farm, func(tx *farm.Tx) error {
+		return g.UpdateVertex(tx, actors[0], actorVal(actorName(0), "uk"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete a vertex: count and its edges drop.
+	err = farm.RunTransaction(c, s.farm, func(tx *farm.Tx) error {
+		return g.DeleteVertex(tx, actors[1])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StatsTracker().Invalidate(statsKey(g.tenant, g.name))
+	sum = s.StatsSummary(c, g.tenant, g.name)
+	if n, _ := sum.TypeCount("actor"); n != 9 {
+		t.Fatalf("actor count after delete = %d, want 9", n)
+	}
+	fs, _ = sum.FieldStats("actor", "origin")
+	if est := fs.EqEstimate(bond.String("uk")); est < 2 || est > 6 {
+		t.Fatalf("EqEstimate(uk) after update = %.1f, want ≈4", est)
+	}
+	if es, ok := sum.Edges["film.actor"]; !ok || es.Count != 5 {
+		t.Fatalf("film.actor edge count after delete = %+v, want 5", es)
+	}
+}
+
+func TestStatsAbortedTxDoesNotCount(t *testing.T) {
+	s, g, c := testGraph(t, 5)
+	tx := s.farm.CreateTransaction(c)
+	if _, err := g.CreateVertex(tx, "actor", actorVal("aborted", "usa")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	counts := freshSummary(s, c, g)
+	if counts["actor"] != 0 {
+		t.Fatalf("aborted insert counted: %v", counts)
+	}
+}
+
+func TestAnalyzeRebuilds(t *testing.T) {
+	s, g, c := testGraph(t, 5)
+	var ptrs []VertexPtr
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, mustCreateVertex(t, g, c, "actor", actorVal(actorName(i), "usa")))
+	}
+	mustCreateEdge(t, g, c, ptrs[0], "film.actor", ptrs[1], bond.Null)
+	// Corrupt the live numbers, then Analyze must restore exact counts.
+	s.StatsTracker().ResetGraph(statsKey(g.tenant, g.name))
+	sum, err := g.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sum.TypeCount("actor"); n != 8 {
+		t.Fatalf("Analyze actor count = %d, want 8", n)
+	}
+	fs, ok := sum.FieldStats("actor", "origin")
+	if !ok || fs.Count != 8 {
+		t.Fatalf("Analyze origin count = %+v, want 8", fs)
+	}
+	if es, ok := sum.Edges["film.actor"]; !ok || es.Count != 1 {
+		t.Fatalf("Analyze edge count = %+v, want 1", es)
+	}
+}
+
+func actorName(i int) string { return "actor" + string(rune('a'+i)) }

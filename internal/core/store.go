@@ -17,6 +17,7 @@ import (
 	"a1/internal/bond"
 	"a1/internal/fabric"
 	"a1/internal/farm"
+	"a1/internal/stats"
 )
 
 // Errors surfaced by the graph layer.
@@ -84,6 +85,7 @@ type Store struct {
 	catalogDesc farm.Ptr
 	proxies     []*proxyCache   // per machine; dropped on process restart
 	typeDirs    []*typeDirCache // per machine type-id directories
+	stats       *stats.Tracker  // per machine live data-distribution stats
 
 	randMu sync.Mutex
 	rand   *rand.Rand
@@ -109,6 +111,7 @@ func Open(c *fabric.Ctx, f *farm.Farm, cfg Config) (*Store, error) {
 	}
 	s.proxies = make([]*proxyCache, f.Fabric().Machines())
 	s.typeDirs = make([]*typeDirCache, f.Fabric().Machines())
+	s.stats = stats.NewTracker(f.Fabric().Machines(), cfg.ProxyTTL)
 	for i := range s.proxies {
 		s.proxies[i] = newProxyCache()
 		s.typeDirs[i] = &typeDirCache{dirs: make(map[string]*typeDirectory)}

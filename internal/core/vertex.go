@@ -175,6 +175,7 @@ func (g *Graph) CreateVertex(tx *farm.Tx, typeName string, val bond.Value) (Vert
 			return farm.NilPtr, err
 		}
 	}
+	g.statsVertexAdded(tx, target, vt, val)
 	if l := g.store.updateLogger(); l != nil {
 		if err := l.LogVertexPut(tx, g.tenant, g.name, typeName, pk, val); err != nil {
 			return farm.NilPtr, err
@@ -338,6 +339,7 @@ func (g *Graph) UpdateVertex(tx *farm.Tx, vp VertexPtr, newVal bond.Value) error
 			}
 		}
 	}
+	g.statsVertexUpdated(tx, vp, vt, oldVal, newVal)
 	if l := g.store.updateLogger(); l != nil {
 		if err := l.LogVertexPut(tx, g.tenant, g.name, vt.Name, newPK, newVal); err != nil {
 			return err
@@ -403,6 +405,9 @@ func (g *Graph) DeleteVertex(tx *farm.Tx, vp VertexPtr) error {
 				return err
 			}
 		}
+		if et, ok := dir.eByID[he.TypeID]; ok {
+			g.statsEdgeRemoved(tx, vp, et.Name)
+		}
 		if err := g.freeEdgeData(tx, he.Data, freedData); err != nil {
 			return err
 		}
@@ -419,6 +424,9 @@ func (g *Graph) DeleteVertex(tx *farm.Tx, vp VertexPtr) error {
 		if he.Other.Addr != vp.Addr {
 			if err := g.removeHalfEdge(tx, gm, he.Other, DirOut, he.TypeID, vp); err != nil {
 				return err
+			}
+			if et, ok := dir.eByID[he.TypeID]; ok {
+				g.statsEdgeRemoved(tx, he.Other, et.Name)
 			}
 			if l := g.store.updateLogger(); l != nil {
 				key, kerr := g.edgeIdentity(tx, dir, vp, vt, pk, he, DirIn)
@@ -459,6 +467,7 @@ func (g *Graph) DeleteVertex(tx *farm.Tx, vp VertexPtr) error {
 	if err := tx.Free(hdrBuf); err != nil {
 		return err
 	}
+	g.statsVertexRemoved(tx, vp, vt, val)
 	if l := g.store.updateLogger(); l != nil {
 		if err := l.LogVertexDelete(tx, g.tenant, g.name, vt.Name, pk); err != nil {
 			return err

@@ -157,6 +157,11 @@ type VertexPattern struct {
 	Skip    int         // _skip: rows (or groups) dropped before the first returned
 	Orders  []OrderBy   // _orderby: result ordering keys (empty = unordered)
 	GroupBy []FieldPath // _groupby: grouped-aggregate keys (empty = ungrouped)
+	// GroupOrder maps each `_orderby` key to the Aggs column it orders
+	// groups by (the `_orderby`+`_groupby` aggregate form, resolved at
+	// validation time; parallel to Orders, set only when GroupBy is
+	// present).
+	GroupOrder []int
 
 	// "$param" placeholders bound at execution time.
 	IDParam    string // id
@@ -327,16 +332,26 @@ func validateShaping(root *VertexPattern) error {
 		}
 		if terminal && len(vp.GroupBy) > 0 {
 			// Grouped aggregates: each group reduces to scalars, so plain
-			// projections have no row to ride on and `_orderby` has no row
-			// order to define (groups come back sorted by key).
+			// projections have no row to ride on. `_orderby` is allowed in
+			// its aggregate form only — ordering groups by an aggregate
+			// column ("_count(*)" or the bare function name), the top-K
+			// groups case; plain-field ordering has no row order to define
+			// (groups come back sorted by key).
 			if len(vp.Aggs) == 0 {
 				return errors.New("a1ql: _groupby requires at least one _select aggregate")
 			}
 			if len(vp.Selects) > 0 {
 				return errors.New("a1ql: _groupby allows only aggregate _select entries")
 			}
-			if len(vp.Orders) > 0 {
-				return errors.New("a1ql: _orderby is not supported with _groupby (groups sort by key)")
+			if err := resolveGroupOrder(vp); err != nil {
+				return err
+			}
+		}
+		if terminal && len(vp.GroupBy) == 0 {
+			for _, ob := range vp.Orders {
+				if isAggKey(ob.Path.Raw) {
+					return fmt.Errorf("a1ql: _orderby %q (an aggregate column) requires _groupby", ob.Path.Raw)
+				}
 			}
 		}
 		for _, m := range vp.Matches {
@@ -348,6 +363,52 @@ func validateShaping(root *VertexPattern) error {
 			return nil
 		}
 		vp = vp.Edge.Vertex
+	}
+	return nil
+}
+
+// isAggKey reports whether an `_orderby` key names an aggregate column
+// ("_count(*)", "_sum(field)") or a bare aggregate function ("_count").
+func isAggKey(raw string) bool {
+	if open := strings.IndexByte(raw, '('); open > 0 {
+		_, ok := aggNames[raw[:open]]
+		return ok
+	}
+	_, ok := aggNames[raw]
+	return ok
+}
+
+// resolveGroupOrder maps the grouped form's `_orderby` keys to `_select`
+// aggregate columns: a key matches an aggregate by its verbatim entry
+// ("_count(*)") or by its bare function name ("_count") when exactly one
+// aggregate of that function exists.
+func resolveGroupOrder(vp *VertexPattern) error {
+	if len(vp.Orders) == 0 {
+		return nil
+	}
+	vp.GroupOrder = make([]int, len(vp.Orders))
+	for i, ob := range vp.Orders {
+		exact := -1
+		var short []int
+		for ai, agg := range vp.Aggs {
+			if ob.Path.Raw == agg.Raw {
+				exact = ai
+				break
+			}
+			if open := strings.IndexByte(agg.Raw, '('); open > 0 && ob.Path.Raw == agg.Raw[:open] {
+				short = append(short, ai)
+			}
+		}
+		switch {
+		case exact >= 0:
+			vp.GroupOrder[i] = exact
+		case len(short) == 1:
+			vp.GroupOrder[i] = short[0]
+		case len(short) > 1:
+			return fmt.Errorf("a1ql: _orderby %q is ambiguous; use the full aggregate entry", ob.Path.Raw)
+		default:
+			return fmt.Errorf("a1ql: _orderby with _groupby must name a _select aggregate column (got %q)", ob.Path.Raw)
+		}
 	}
 	return nil
 }
@@ -654,6 +715,13 @@ func parseOrderKey(v interface{}) (OrderBy, error) {
 		if strings.HasPrefix(x, "-") {
 			ob.Desc = true
 			x = x[1:]
+		}
+		if isAggKey(x) {
+			// Aggregate column key ("_count(*)", "_sum(f[k])"): kept
+			// verbatim — validation resolves it against the _select
+			// aggregates (and rejects it without _groupby).
+			ob.Path = FieldPath{Raw: x, Field: x, ListIdx: -1}
+			return ob, nil
 		}
 		fp, err := parseFieldPath(x)
 		if err != nil {

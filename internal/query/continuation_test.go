@@ -1,0 +1,128 @@
+package query
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Continuation sweeper coverage: expired tokens through the Release path,
+// and the background sweep racing concurrent Fetch streams.
+
+func TestReleaseExpiredToken(t *testing.T) {
+	e, g, c := newRangeEnv(t)
+	e.cfg.PageSize = 10
+	e.cfg.ResultTTL = 20 * time.Millisecond
+	res, err := e.Execute(c, g, []byte(`{"_type": "item", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Continuation == "" {
+		t.Fatal("expected a continuation (100 rows, page size 10)")
+	}
+	if n := e.PendingResults(0); n != 1 {
+		t.Fatalf("PendingResults = %d, want 1", n)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := e.ExpireResults(c); n != 1 {
+		t.Fatalf("ExpireResults swept %d entries, want 1", n)
+	}
+	if n := e.PendingResults(0); n != 0 {
+		t.Fatalf("PendingResults after sweep = %d, want 0", n)
+	}
+	// Releasing a token whose state the sweeper already dropped is not an
+	// error (the cursor Close path races the sweeper by design).
+	if err := e.Release(c, res.Continuation); err != nil {
+		t.Fatalf("Release(expired) = %v, want nil", err)
+	}
+	if _, err := e.Fetch(c, res.Continuation); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("Fetch(expired) = %v, want ErrBadToken", err)
+	}
+
+	// An expired entry that the sweeper has not visited yet is also
+	// refused by Fetch (expiry is checked on access, not only on sweep).
+	res, err = e.Execute(c, g, []byte(`{"_type": "item", "_select": ["id"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := e.Fetch(c, res.Continuation); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("Fetch(lapsed, unswept) = %v, want ErrBadToken", err)
+	}
+	if err := e.Release(c, res.Continuation); err != nil {
+		t.Fatalf("Release(consumed) = %v, want nil", err)
+	}
+}
+
+func TestSweepUnderConcurrentFetch(t *testing.T) {
+	e, g, c := newRangeEnv(t)
+	e.cfg.PageSize = 5
+	e.cfg.ResultTTL = 40 * time.Millisecond
+
+	const streams = 8
+	stop := make(chan struct{})
+	var sweeperWG sync.WaitGroup
+	sweeperWG.Add(1)
+	go func() {
+		defer sweeperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.ExpireResults(c)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(slow bool) {
+			defer wg.Done()
+			res, err := e.Execute(c, g, []byte(`{"_type": "item", "_select": ["id"]}`))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rows := len(res.Rows)
+			token := res.Continuation
+			for token != "" {
+				if slow {
+					// Outlive the TTL mid-stream: the sweeper must cut this
+					// stream off with ErrBadToken, never corrupt it.
+					time.Sleep(10 * time.Millisecond)
+				}
+				page, err := e.Fetch(c, token)
+				if err != nil {
+					if errors.Is(err, ErrBadToken) {
+						return // swept mid-stream: acceptable for a slow reader
+					}
+					errCh <- err
+					return
+				}
+				rows += len(page.Rows)
+				token = page.Continuation
+			}
+			if rows != rangeItems {
+				errCh <- errors.New("incomplete stream despite no expiry")
+			}
+		}(s%2 == 1)
+	}
+	wg.Wait()
+	close(stop)
+	sweeperWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Everything left behind drains after the TTL.
+	time.Sleep(50 * time.Millisecond)
+	e.ExpireResults(c)
+	if n := e.PendingResults(0); n != 0 {
+		t.Fatalf("PendingResults after final sweep = %d, want 0", n)
+	}
+}

@@ -1,0 +1,396 @@
+package query
+
+import (
+	"fmt"
+
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/stats"
+)
+
+// Cost-based access-path selection. Plans stay structural (plan.go): they
+// enumerate *candidate* operators per level. At execution (and Explain)
+// time this file ranks the candidates against live statistics — per-type
+// cardinalities, per-indexed-field distinct/heavy-hitter estimates, mean
+// edge fan-outs — using the engine's CPU cost constants, and the cheapest
+// candidate runs. When statistics are unavailable (or the engine is
+// configured StructuralPlanner) the PR-3 fixed preference order survives as
+// the tiebreak and fallback, so behavior degrades to the structural
+// planner, never worse.
+
+// Default selectivities when statistics cannot answer (the System R
+// classics), and the fan-out assumed for edge labels never seen.
+const (
+	defaultEqSel    = 0.1
+	defaultRangeSel = 1.0 / 3
+	defaultFanout   = 8.0
+)
+
+// estUnknown marks estimates statistics could not produce.
+const estUnknown = -1
+
+// planContext carries one execution's planner inputs: the cluster-wide
+// stats summary (nil when structural), the live index probe, and the cost
+// model.
+type planContext struct {
+	sum        *stats.GraphSummary
+	probe      indexProbe
+	cfg        *Config
+	structural bool
+}
+
+// newPlanContext snapshots the planner inputs for one execution or Explain.
+func newPlanContext(c *fabric.Ctx, e *Engine, g *core.Graph) *planContext {
+	pc := &planContext{cfg: &e.cfg, probe: indexProbeFor(c, g), structural: e.cfg.StructuralPlanner}
+	if !pc.structural {
+		pc.sum = e.store.StatsSummary(c, g.Tenant(), g.Name())
+	}
+	return pc
+}
+
+// indexProbeFor resolves index existence against the live catalog; errors
+// degrade to "not indexed".
+func indexProbeFor(c *fabric.Ctx, g *core.Graph) indexProbe {
+	return func(typeName, field string) bool {
+		_, secondary, err := g.VertexTypeIndexInfo(c, typeName)
+		if err != nil {
+			return false
+		}
+		for _, f := range secondary {
+			if f == field {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// costModel returns the per-entry costs in abstract units, substituting the
+// default constants when the engine was configured without a cost model
+// (zero values) so ranking still discriminates.
+func (pc *planContext) costModel() (read, merge, pred float64) {
+	def := DefaultConfig()
+	read = float64(pc.cfg.CostVertexRead)
+	if read == 0 {
+		read = float64(def.CostVertexRead)
+	}
+	merge = float64(pc.cfg.CostMerge)
+	if merge == 0 {
+		merge = float64(def.CostMerge)
+	}
+	pred = float64(pc.cfg.CostPredEval)
+	if pred == 0 {
+		pred = float64(def.CostPredEval)
+	}
+	return read, merge, pred
+}
+
+// typeCount returns a type's cluster-wide cardinality.
+func (pc *planContext) typeCount(typ string) (float64, bool) {
+	n, ok := pc.sum.TypeCount(typ)
+	if !ok {
+		return 0, false
+	}
+	return float64(n), true
+}
+
+// eqRows estimates how many vertices of a type match an equality predicate.
+// Unbound parameters ("$name" before Bind — the Explain path) estimate as
+// an average value; fields without recorded values fall back to the default
+// equality selectivity.
+func (pc *planContext) eqRows(typ string, p Predicate) (float64, bool) {
+	tc, ok := pc.typeCount(typ)
+	if !ok {
+		return 0, false
+	}
+	fs, ok := pc.sum.FieldStats(typ, p.Path.Field)
+	if !ok {
+		return tc * defaultEqSel, true
+	}
+	if p.Param != "" && p.Value.Kind() == 0 {
+		d := fs.Distinct
+		if d < 1 {
+			d = 1
+		}
+		return float64(fs.Count) / float64(d), true
+	}
+	return fs.EqEstimate(p.Value), true
+}
+
+// rangeRows estimates how many vertices an indexed range predicate admits.
+func (pc *planContext) rangeRows(typ, field string) (float64, bool) {
+	tc, ok := pc.typeCount(typ)
+	if !ok {
+		return 0, false
+	}
+	if fs, ok := pc.sum.FieldStats(typ, field); ok {
+		return float64(fs.Count) * defaultRangeSel, true
+	}
+	return tc * defaultRangeSel, true
+}
+
+// predSelectivity estimates the fraction of a type's vertices one residual
+// predicate passes.
+func (pc *planContext) predSelectivity(typ string, p Predicate) float64 {
+	switch p.Op {
+	case OpEq:
+		if tc, ok := pc.typeCount(typ); ok && tc > 0 {
+			if rows, ok := pc.eqRows(typ, p); ok {
+				sel := rows / tc
+				if sel > 1 {
+					sel = 1
+				}
+				return sel
+			}
+		}
+		return defaultEqSel
+	case OpGt, OpGe, OpLt, OpLe:
+		return defaultRangeSel
+	default:
+		// _ne / _prefix: assume they filter little.
+		return 1
+	}
+}
+
+// residualSelectivity multiplies the selectivities of a pattern's
+// predicates, excluding the field the access path already consumed.
+func (pc *planContext) residualSelectivity(pat *VertexPattern, exclude string) float64 {
+	sel := 1.0
+	for _, p := range pat.Preds {
+		if p.Path.Field == exclude {
+			continue
+		}
+		sel *= pc.predSelectivity(pat.Type, p)
+	}
+	return sel
+}
+
+// fanout estimates an edge pattern's mean fan-out per frontier vertex.
+func (pc *planContext) fanout(ep *EdgePattern) float64 {
+	if deg, ok := pc.sum.MeanOutDegree(ep.Type); ok {
+		return deg
+	}
+	return defaultFanout
+}
+
+// sourceKind identifies a root-frontier operator.
+type sourceKind int
+
+const (
+	srcIDLookup sourceKind = iota
+	srcIndexScan
+	srcOrderedScan
+	srcRangeScan
+	srcTypeScan
+)
+
+// startCandidate is one costed root access path.
+type startCandidate struct {
+	kind    sourceKind
+	predIdx int     // Preds position for srcIndexScan
+	est     float64 // estimated frontier rows produced (estUnknown without stats)
+	cost    float64 // estimated cost (estUnknown without stats)
+	label   string  // operator rendering for Explain and Stats.Levels
+}
+
+// rankStartCandidates enumerates the servable root access paths in the
+// structural preference order — IDLookup, equality IndexScan (document
+// order), OrderedIndexScan, IndexRangeScan, TypeScan — costs each against
+// statistics, and reorders by cost when statistics cover the type. The
+// stable sort keeps the preference order as the tiebreak, and a structural
+// planner (or a type without statistics) returns the preference order
+// untouched.
+func rankStartCandidates(sp *StartPlan, pat *VertexPattern, pc *planContext) []startCandidate {
+	if sp.ByID {
+		id := pat.ID
+		if pat.IDParam != "" {
+			id = "$" + pat.IDParam
+		}
+		return []startCandidate{{kind: srcIDLookup, est: 1,
+			label: fmt.Sprintf("IDLookup(id=%q)", id)}}
+	}
+	read, merge, pred := pc.costModel()
+	tc, haveTC := pc.typeCount(pat.Type)
+	cands := make([]startCandidate, 0, 4)
+
+	for _, pi := range sp.EqPreds {
+		p := pat.Preds[pi]
+		if !pc.probe(pat.Type, p.Path.Field) {
+			continue
+		}
+		c := startCandidate{kind: srcIndexScan, predIdx: pi, est: estUnknown, cost: estUnknown,
+			label: fmt.Sprintf("IndexScan(%s.%s = %s)", pat.Type, p.Path.Field, predValue(p))}
+		if rows, ok := pc.eqRows(pat.Type, p); ok {
+			c.est = rows
+			c.cost = rows * (merge + read)
+		}
+		cands = append(cands, c)
+	}
+
+	if sp.Ordered != nil && pc.probe(pat.Type, sp.Ordered.Field) {
+		dir := "asc"
+		if sp.Ordered.Desc {
+			dir = "desc"
+		}
+		target := float64(pat.Limit + pat.Skip)
+		stop := ""
+		if pat.Limit > 0 {
+			stop = fmt.Sprintf(", stop after %d", pat.Limit+pat.Skip)
+		} else if pat.LimitParam != "" {
+			stop = ", stop after $" + pat.LimitParam
+			target = float64(pc.cfg.PageSize) // unbound: assume a page
+		}
+		c := startCandidate{kind: srcOrderedScan, est: estUnknown, cost: estUnknown,
+			label: fmt.Sprintf("OrderedIndexScan(%s.%s %s%s)", pat.Type, sp.Ordered.Field, dir, stop)}
+		if haveTC {
+			// The walk reads vertices until `target` survive the residual
+			// predicates, so expected reads scale inversely with their
+			// selectivity, capped by the type itself.
+			sel := pc.residualSelectivity(pat, sp.Ordered.Field)
+			reads := tc
+			if sel > 0 {
+				reads = target / sel
+			}
+			if reads > tc {
+				reads = tc
+			}
+			est := target
+			if est > tc*sel {
+				est = tc * sel
+			}
+			c.est = est
+			c.cost = reads * (merge + read)
+		}
+		cands = append(cands, c)
+	}
+
+	if sp.HasRange {
+		for _, p := range pat.Preds {
+			switch p.Op {
+			case OpGt, OpGe, OpLt, OpLe:
+			default:
+				continue
+			}
+			if p.Path.IsMap || p.Path.IsList || p.Path.Wildcard || !pc.probe(pat.Type, p.Path.Field) {
+				continue
+			}
+			c := startCandidate{kind: srcRangeScan, est: estUnknown, cost: estUnknown,
+				label: fmt.Sprintf("IndexRangeScan(%s.%s)", pat.Type, p.Path.Field)}
+			if rows, ok := pc.rangeRows(pat.Type, p.Path.Field); ok {
+				c.est = rows
+				c.cost = rows * (merge + read)
+			}
+			cands = append(cands, c)
+			break
+		}
+	}
+
+	ts := startCandidate{kind: srcTypeScan, est: estUnknown, cost: estUnknown,
+		label: fmt.Sprintf("TypeScan(%s)", pat.Type)}
+	if sp.ScanCapped {
+		ts.label = fmt.Sprintf("TypeScan(%s, capped)", pat.Type)
+	}
+	if haveTC {
+		entries := tc
+		if sp.ScanCapped && pat.Limit > 0 && float64(pat.Limit+pat.Skip) < entries {
+			entries = float64(pat.Limit + pat.Skip)
+		}
+		ts.est = entries
+		ts.cost = entries*(merge+read) + entries*float64(len(pat.Preds))*pred
+	}
+	cands = append(cands, ts)
+
+	if pc.structural || !haveTC {
+		return cands
+	}
+	// Stable insertion keeps the preference order for equal costs.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].cost < cands[j-1].cost; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	return cands
+}
+
+// filterEstimate estimates the membership-set size of a traversal level's
+// first servable IndexFilter candidate (used to size the scan budget).
+func (pc *planContext) filterEstimate(pat *VertexPattern, ifp *IndexFilterPlan) (float64, bool) {
+	if pc.sum == nil {
+		return 0, false
+	}
+	for _, pi := range ifp.EqPreds {
+		p := pat.Preds[pi]
+		if !pc.probe(pat.Type, p.Path.Field) {
+			continue
+		}
+		return pc.eqRows(pat.Type, p)
+	}
+	if ifp.HasRange {
+		for _, p := range pat.Preds {
+			switch p.Op {
+			case OpGt, OpGe, OpLt, OpLe:
+			default:
+				continue
+			}
+			if p.Path.IsMap || p.Path.IsList || p.Path.Wildcard || !pc.probe(pat.Type, p.Path.Field) {
+				continue
+			}
+			return pc.rangeRows(pat.Type, p.Path.Field)
+		}
+	}
+	return 0, false
+}
+
+// consumedField names the predicate field a start candidate serves, so
+// level-0 residual selectivity excludes it.
+func (c *startCandidate) consumedField(pat *VertexPattern) string {
+	switch c.kind {
+	case srcIndexScan:
+		return pat.Preds[c.predIdx].Path.Field
+	case srcRangeScan:
+		// The label embeds the field; recover it from the first indexed
+		// range predicate (same iteration order as ranking).
+		for _, p := range pat.Preds {
+			switch p.Op {
+			case OpGt, OpGe, OpLt, OpLe:
+				if !p.Path.IsMap && !p.Path.IsList && !p.Path.Wildcard {
+					return p.Path.Field
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// estimateLevels chains the chosen start estimate through the traversal:
+// each hop multiplies the surviving rows by the level's residual predicate
+// selectivity and the edge label's mean fan-out. A level without usable
+// statistics poisons the rest of the chain to estUnknown.
+func estimateLevels(pl *Plan, pats []*VertexPattern, pc *planContext, start *startCandidate) []float64 {
+	out := make([]float64, len(pl.Levels))
+	cur := start.est
+	out[0] = cur
+	for i := 0; i+1 < len(pl.Levels); i++ {
+		if cur < 0 || pc.sum == nil {
+			out[i+1] = estUnknown
+			cur = estUnknown
+			continue
+		}
+		pat := pats[i]
+		exclude := ""
+		if i == 0 {
+			exclude = start.consumedField(pat)
+		}
+		cur = cur * pc.residualSelectivity(pat, exclude) * pc.fanout(pat.Edge)
+		out[i+1] = cur
+	}
+	return out
+}
+
+// roundEst converts a float estimate to the int64 the Stats report.
+func roundEst(v float64) int64 {
+	if v < 0 {
+		return estUnknown
+	}
+	return int64(v + 0.5)
+}

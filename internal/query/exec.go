@@ -46,6 +46,11 @@ type Config struct {
 	PageSize int
 	// ResultTTL is how long continuation state is retained (paper: 60s).
 	ResultTTL time.Duration
+	// StructuralPlanner disables cost-based access-path selection: root
+	// candidates run in the fixed preference order and the traversal
+	// IndexFilter budget uses the structural formula — the pre-statistics
+	// planner, kept as an ablation and benchmark baseline.
+	StructuralPlanner bool
 
 	// CPU cost model for the simulated fabric (no-ops in Direct mode).
 	CostParse      time.Duration // coordinator: parse + plan
@@ -111,6 +116,23 @@ type Stats struct {
 	// plan cache (a Prepared.Exec or a repeated document): the coordinator
 	// performed zero parses, and in Sim mode paid no CostParse.
 	PlanCacheHits int64
+	// Levels reports, per traversal level, the access path that ran and the
+	// planner's estimated vs. actual cardinality — the feedback loop behind
+	// `est=N act=M` in Explain output and the a1shell stats line.
+	Levels []LevelStats
+}
+
+// LevelStats is one level's estimated-vs-actual accounting.
+type LevelStats struct {
+	Depth int
+	// Source is the operator that produced the level's vertices (the chosen
+	// start candidate at depth 0, the traversal above it otherwise).
+	Source string
+	// EstRows is the planner's cardinality estimate for the level's
+	// frontier (or terminal rows), -1 when statistics could not estimate.
+	EstRows int64
+	// ActRows is the observed cardinality.
+	ActRows int64
 }
 
 // Result is a query response page.
@@ -208,7 +230,9 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 
 	// The interpreter zips the compiled plan with the (possibly bound)
 	// pattern chain: the plan holds operator choices, the patterns hold the
-	// values this execution binds them to.
+	// values this execution binds them to. The plan context snapshots the
+	// statistics summary and index probe the candidate ranking costs
+	// against.
 	pl := q.Plan()
 	pats := patternChain(q.Root)
 	st := &execState{
@@ -216,6 +240,7 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 		graph:   g,
 		ts:      ts,
 		hints:   q.Hints,
+		pc:      newPlanContext(qc, e, g),
 		targets: map[*EdgePattern]core.VertexPtr{},
 	}
 	tp := pats[len(pats)-1]
@@ -244,13 +269,16 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.initLevels(pl, pats)
 	if ordered {
 		// OrderedIndexScan produced the terminal rows directly, already in
 		// result order.
 		rows = orderedRows
 		st.preOrdered = true
 		st.stats.Hops = 1
+		st.setActRows(0, len(rows))
 	} else {
+		st.setActRows(0, len(frontier))
 		level := 0
 		working := len(frontier)
 		for {
@@ -280,6 +308,7 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 			// Aggregate replies: dedup and repartition by pointer (§3.4).
 			qc.Work(time.Duration(len(out.next)) * e.cfg.CostMerge)
 			frontier = dedupPtrs(out.next)
+			st.setActRows(level+1, len(frontier))
 			working += len(frontier)
 			if working > e.cfg.MaxWorkingSet {
 				return nil, fmt.Errorf("%w: %d vertices", ErrWorkingSet, working)
@@ -301,8 +330,15 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	case tl.Group != nil:
 		// Grouped aggregates: finalize the merged partial states into the
 		// sorted group list; _skip/_limit shape groups, and overflowing
-		// group lists page through the continuation cache like rows.
+		// group lists page through the continuation cache like rows. An
+		// aggregate `_orderby` re-sorts the groups by their (now final)
+		// aggregate columns, and the _limit slice below is the top-K
+		// pruning — groups merge fully before any aggregate is final, so
+		// the coordinator is the earliest place to prune.
 		grows := finalizeGroups(groups, tp.GroupBy, tp.Aggs)
+		if len(tp.Orders) > 0 {
+			sortGroupsByAgg(grows, tp.Orders, tp.GroupOrder, tp.Aggs)
+		}
 		if skip := tp.Skip; skip > 0 {
 			if skip >= len(grows) {
 				grows = nil
@@ -373,7 +409,13 @@ type execState struct {
 	graph   *core.Graph
 	ts      uint64
 	hints   Hints
+	pc      *planContext                    // stats + probe the ranking costs against
 	targets map[*EdgePattern]core.VertexPtr // pre-resolved _match ids
+
+	// chosen is the start candidate that actually served the root frontier;
+	// levels carries the per-level estimated-vs-actual accounting.
+	chosen *startCandidate
+	levels []LevelStats
 
 	// Result-shaping pushdown (terminal level).
 	rowTarget int64        // unordered _limit: stop producing rows at this count (0 = off)
@@ -399,7 +441,38 @@ func (st *execState) snapshotStats(ops *fabric.OpStats) Stats {
 	s.LocalFrac = ops.LocalFraction()
 	s.RDMATime = time.Duration(ops.RDMAReadTime.Load())
 	s.RPCs = ops.RPCs.Load()
+	s.Levels = st.levels
 	return s
+}
+
+// initLevels builds the per-level estimated-vs-actual records once the
+// start candidate is known: estimates chain the chosen source's cardinality
+// through residual selectivities and edge fan-outs.
+func (st *execState) initLevels(pl *Plan, pats []*VertexPattern) {
+	if st.chosen == nil {
+		return
+	}
+	ests := estimateLevels(pl, pats, st.pc, st.chosen)
+	st.levels = make([]LevelStats, len(pl.Levels))
+	for i := range pl.Levels {
+		src := "Frontier"
+		if i == 0 {
+			src = st.chosen.label
+		} else if ep := pats[i-1].Edge; ep != nil {
+			dir := "out"
+			if !ep.Out {
+				dir = "in"
+			}
+			src = fmt.Sprintf("Traverse(%s %s)", dir, ep.Type)
+		}
+		st.levels[i] = LevelStats{Depth: i, Source: src, EstRows: roundEst(ests[i])}
+	}
+}
+
+func (st *execState) setActRows(level, n int) {
+	if level < len(st.levels) {
+		st.levels[level].ActRows = int64(n)
+	}
 }
 
 // resolveMatchTargets pre-resolves `_match` subpatterns that terminate in a
@@ -458,71 +531,92 @@ func (st *execState) lookupByID(tx *farm.Tx, vp *VertexPattern) (core.VertexPtr,
 }
 
 // execStart interprets the root level's StartPlan. Candidates run in
-// preference order — IDLookup, IndexScan (equality), OrderedIndexScan,
-// IndexRangeScan, TypeScan — each index-using candidate falling through
-// when its index does not exist. OrderedIndexScan is the one source that
+// cost-ranked order (rankStartCandidates): cheapest estimated access path
+// first, the structural preference order — IDLookup, IndexScan (equality),
+// OrderedIndexScan, IndexRangeScan, TypeScan — as tiebreak and
+// statistics-free fallback. Each index-using candidate falls through when
+// its index does not exist. OrderedIndexScan is the one source that
 // produces terminal *rows* (ordered=true) instead of a frontier.
 func (st *execState) execStart(qc *fabric.Ctx, tx *farm.Tx, root *VertexPattern, lp *LevelPlan) (frontier []core.VertexPtr, rows []Row, ordered bool, err error) {
 	sp := lp.Start
-	if sp.ByID {
-		ptr, ok, err := st.lookupByID(tx, root)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		if !ok {
-			return nil, nil, false, fmt.Errorf("%w: id %q", ErrNoStart, root.ID)
-		}
-		return []core.VertexPtr{ptr}, nil, false, nil
-	}
-	if root.Type == "" {
+	if !sp.ByID && root.Type == "" {
 		return nil, nil, false, errors.New("a1ql: root pattern requires id or _type")
 	}
-	// Secondary-index equality scan.
-	for _, pi := range sp.EqPreds {
-		p := root.Preds[pi]
-		var hits []core.VertexPtr
-		err := st.graph.IndexScan(tx, root.Type, p.Path.Field, p.Value, func(vp core.VertexPtr) bool {
-			hits = append(hits, vp)
-			return true
-		})
-		if err == nil {
-			return hits, nil, false, nil
-		}
-		if !errors.Is(err, core.ErrNotFound) {
-			return nil, nil, false, err
-		}
-	}
-	// Ordered index scan: result order off the index, top-K early stop.
-	if sp.Ordered != nil {
-		rows, served, err := st.orderedScan(qc, tx, root, sp.Ordered)
-		if served || err != nil {
-			return nil, rows, served, err
-		}
-	}
-	// Secondary-index range scan for inequality predicates: the index
-	// B-trees are ordered, so `{"f": {"_ge": lo, "_lt": hi}}` reads only
-	// the matching key range instead of the whole type. Bounds are coerced
-	// (widening) to the field's stored kind; every predicate is still
-	// re-evaluated per vertex, so the frontier may over-approximate but
-	// never misses.
-	if sp.HasRange {
-		if hits, served, err := st.rangeStart(tx, root); served {
+	cands := rankStartCandidates(sp, root, st.pc)
+	for i := range cands {
+		cand := &cands[i]
+		switch cand.kind {
+		case srcIDLookup:
+			ptr, ok, err := st.lookupByID(tx, root)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if !ok {
+				return nil, nil, false, fmt.Errorf("%w: id %q", ErrNoStart, root.ID)
+			}
+			st.chosen = cand
+			return []core.VertexPtr{ptr}, nil, false, nil
+		case srcIndexScan:
+			// Secondary-index equality scan.
+			p := root.Preds[cand.predIdx]
+			var hits []core.VertexPtr
+			err := st.graph.IndexScan(tx, root.Type, p.Path.Field, p.Value, func(vp core.VertexPtr) bool {
+				hits = append(hits, vp)
+				return true
+			})
+			if err == nil {
+				st.chosen = cand
+				return hits, nil, false, nil
+			}
+			if !errors.Is(err, core.ErrNotFound) {
+				return nil, nil, false, err
+			}
+		case srcOrderedScan:
+			// Ordered index scan: result order off the index, top-K early
+			// stop.
+			rows, served, err := st.orderedScan(qc, tx, root, sp.Ordered)
+			if err != nil {
+				return nil, rows, served, err
+			}
+			if served {
+				st.chosen = cand
+				return nil, rows, true, nil
+			}
+		case srcRangeScan:
+			// Secondary-index range scan for inequality predicates: the
+			// index B-trees are ordered, so `{"f": {"_ge": lo, "_lt": hi}}`
+			// reads only the matching key range instead of the whole type.
+			// Bounds are coerced (widening) to the field's stored kind;
+			// every predicate is still re-evaluated per vertex, so the
+			// frontier may over-approximate but never misses.
+			hits, served, err := st.rangeStart(tx, root)
+			if served {
+				st.chosen = cand
+				return hits, nil, false, err
+			}
+			if err != nil {
+				return nil, nil, false, err
+			}
+		case srcTypeScan:
+			// Full primary-index scan of the type. When the plan marked the
+			// scan cappable (unfiltered, unordered, limited terminal), any K
+			// vertices of the type answer the query — stop scanning as soon
+			// as enough are found.
+			scanCap := 0
+			if sp.ScanCapped && root.Limit > 0 {
+				scanCap = root.Limit + root.Skip
+			}
+			var hits []core.VertexPtr
+			err = st.graph.ScanVerticesByType(tx, root.Type, func(_ bond.Value, vp core.VertexPtr) bool {
+				hits = append(hits, vp)
+				return scanCap == 0 || len(hits) < scanCap
+			})
+			st.chosen = cand
 			return hits, nil, false, err
 		}
 	}
-	// Full primary-index scan of the type. When the plan marked the scan
-	// cappable (unfiltered, unordered, limited terminal), any K vertices of
-	// the type answer the query — stop scanning as soon as enough are found.
-	scanCap := 0
-	if sp.ScanCapped && root.Limit > 0 {
-		scanCap = root.Limit + root.Skip
-	}
-	var hits []core.VertexPtr
-	err = st.graph.ScanVerticesByType(tx, root.Type, func(_ bond.Value, vp core.VertexPtr) bool {
-		hits = append(hits, vp)
-		return scanCap == 0 || len(hits) < scanCap
-	})
-	return hits, nil, false, err
+	// Unreachable: TypeScan is always enumerated last.
+	return nil, nil, false, errors.New("a1ql: no runnable access path")
 }
 
 // rangeStart attempts to serve the root frontier from a secondary-index
@@ -751,9 +845,22 @@ func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.Verte
 // evaluation still runs per surviving vertex. ok=false means no index was
 // usable — or the matching side outweighs the frontier, where reading the
 // frontier directly is cheaper than enumerating the index.
+//
+// The scan budget is sized from estimated selectivity when statistics
+// cover the predicate: an indexed side estimated to dwarf the frontier is
+// skipped without touching the index at all, and an indexed side estimated
+// small gets a budget of twice its estimate (slack for sketch error). The
+// structural 4·frontier+64 formula survives as the statistics-free
+// fallback and overflow guard.
 func (st *execState) buildMemberFilter(qc *fabric.Ctx, tx *farm.Tx, pat *VertexPattern, ifp *IndexFilterPlan, frontier int) (map[farm.Addr]bool, bool, error) {
 	g := st.graph
 	budget := 4*frontier + 64
+	if est, ok := st.pc.filterEstimate(pat, ifp); ok {
+		if est > float64(budget) {
+			return nil, false, nil
+		}
+		budget = int(2*est) + 64
+	}
 	collect := func(scan func(fn func(vp core.VertexPtr) bool) error) (map[farm.Addr]bool, bool, error) {
 		member := make(map[farm.Addr]bool)
 		overflow := false

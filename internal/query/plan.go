@@ -23,10 +23,14 @@ import (
 //
 // Index availability is not known at plan time (the planner has no schema
 // access, and types may gain indexes later), so index-using operators are
-// *candidates* ordered by preference; the interpreter tries each and falls
-// through on ErrNotFound. Explain, which does have a graph handle, resolves
-// the candidates against the live catalog and prints the operator that will
-// actually run.
+// *candidates*. At execution time the candidates are ranked cost-based
+// against live statistics (cost.go): each gets an estimated row count and a
+// cost from the engine's cost constants, the cheapest runs first, and the
+// structural preference order survives as the tiebreak (and as the whole
+// order when statistics are missing or Config.StructuralPlanner is set).
+// The interpreter still falls through on ErrNotFound, and Explain resolves
+// the same ranking against the live catalog and statistics so the printed
+// operator — annotated `est=N` — is the one that will actually run.
 
 // StartPlan chooses how the root frontier is produced, from five source
 // operators: IDLookup (primary key), IndexScan (secondary-index equality),
@@ -216,37 +220,34 @@ func (q *Query) Plan() *Plan {
 }
 
 // indexProbe reports whether a vertex type has a secondary index on a
-// field. Explain uses it to resolve candidate operators against the live
-// catalog; errors degrade to "not indexed".
+// field. Candidate ranking and Explain use it to resolve candidate
+// operators against the live catalog; errors degrade to "not indexed".
 type indexProbe func(typeName, field string) bool
 
 // Explain renders the compiled operator tree for a query document,
-// resolving index-candidate operators against the live catalog so the
-// printed operator is the one that will run. The document may reference
-// unbound "$name" parameters; they print as placeholders.
+// resolving index-candidate operators against the live catalog and ranking
+// them against live statistics, so the printed operator is the one that
+// will run; levels carry their estimated cardinalities (`est=N`). The
+// document may reference unbound "$name" parameters; they print as
+// placeholders and estimate as average values.
 func (e *Engine) Explain(c *fabric.Ctx, g *core.Graph, doc []byte) (string, error) {
 	q, _, err := e.plan(doc, false)
 	if err != nil {
 		return "", err
 	}
-	probe := func(typeName, field string) bool {
-		_, secondary, err := g.VertexTypeIndexInfo(c, typeName)
-		if err != nil {
-			return false
-		}
-		for _, f := range secondary {
-			if f == field {
-				return true
-			}
-		}
-		return false
-	}
-	return q.Plan().Explain(q, probe), nil
+	return q.Plan().Explain(q, newPlanContext(c, e, g)), nil
 }
 
 // Explain formats the plan as an indented operator tree.
-func (pl *Plan) Explain(q *Query, indexed indexProbe) string {
+func (pl *Plan) Explain(q *Query, pc *planContext) string {
 	pats := patternChain(q.Root)
+	var ests []float64
+	var start startCandidate
+	if len(pl.Levels) > 0 && pl.Levels[0].Start != nil {
+		cands := rankStartCandidates(pl.Levels[0].Start, pats[0], pc)
+		start = cands[0]
+		ests = estimateLevels(pl, pats, pc, &start)
+	}
 	var b strings.Builder
 	for i, lp := range pl.Levels {
 		if i >= len(pats) {
@@ -254,9 +255,21 @@ func (pl *Plan) Explain(q *Query, indexed indexProbe) string {
 		}
 		vp := pats[i]
 		indent := strings.Repeat("  ", i)
-		fmt.Fprintf(&b, "%sL%d %s\n", indent, i, describeSource(lp, vp, indexed))
+		src := "Frontier"
+		if i == 0 && lp.Start != nil {
+			src = start.label
+		}
+		est := ""
+		if i < len(ests) && ests[i] >= 0 {
+			est = fmt.Sprintf(" est=%d", roundEst(ests[i]))
+		}
+		fmt.Fprintf(&b, "%sL%d %s%s\n", indent, i, src, est)
 		if lp.IndexFilter != nil {
-			fmt.Fprintf(&b, "%s  IndexFilter(%s)\n", indent, describeIndexFilter(lp.IndexFilter, vp, indexed))
+			fest := ""
+			if n, ok := pc.filterEstimate(vp, lp.IndexFilter); ok {
+				fest = fmt.Sprintf(" est=%d", roundEst(n))
+			}
+			fmt.Fprintf(&b, "%s  IndexFilter(%s)%s\n", indent, describeIndexFilter(lp.IndexFilter, vp, pc.probe), fest)
 		}
 		if lp.HasFilter {
 			fmt.Fprintf(&b, "%s  Filter(%s)\n", indent, describeFilter(vp))
@@ -275,55 +288,6 @@ func (pl *Plan) Explain(q *Query, indexed indexProbe) string {
 		}
 	}
 	return b.String()
-}
-
-// describeSource names the operator producing a level's vertices.
-func describeSource(lp *LevelPlan, vp *VertexPattern, indexed indexProbe) string {
-	if lp.Start == nil {
-		return "Frontier"
-	}
-	sp := lp.Start
-	if sp.ByID {
-		id := vp.ID
-		if vp.IDParam != "" {
-			id = "$" + vp.IDParam
-		}
-		return fmt.Sprintf("IDLookup(id=%q)", id)
-	}
-	for _, pi := range sp.EqPreds {
-		p := vp.Preds[pi]
-		if indexed(vp.Type, p.Path.Field) {
-			return fmt.Sprintf("IndexScan(%s.%s = %s)", vp.Type, p.Path.Field, predValue(p))
-		}
-	}
-	if sp.Ordered != nil && indexed(vp.Type, sp.Ordered.Field) {
-		dir := "asc"
-		if sp.Ordered.Desc {
-			dir = "desc"
-		}
-		stop := ""
-		if vp.Limit > 0 {
-			stop = fmt.Sprintf(", stop after %d", vp.Limit+vp.Skip)
-		} else if vp.LimitParam != "" {
-			stop = ", stop after $" + vp.LimitParam
-		}
-		return fmt.Sprintf("OrderedIndexScan(%s.%s %s%s)", vp.Type, sp.Ordered.Field, dir, stop)
-	}
-	if sp.HasRange {
-		for _, p := range vp.Preds {
-			switch p.Op {
-			case OpGt, OpGe, OpLt, OpLe:
-				if !p.Path.IsMap && !p.Path.IsList && !p.Path.Wildcard && indexed(vp.Type, p.Path.Field) {
-					return fmt.Sprintf("IndexRangeScan(%s.%s)", vp.Type, p.Path.Field)
-				}
-			}
-		}
-	}
-	cap := ""
-	if sp.ScanCapped {
-		cap = ", capped"
-	}
-	return fmt.Sprintf("TypeScan(%s%s)", vp.Type, cap)
 }
 
 // describeIndexFilter resolves which membership index a traversal level

@@ -224,6 +224,36 @@ func finalizeGroups(groups map[string]*groupState, by []FieldPath, aggs []Aggreg
 	return out
 }
 
+// sortGroupsByAgg orders finalized groups by aggregate columns — the
+// `_orderby`+`_groupby` top-K-groups form. Group partials must be fully
+// merged before any aggregate is final, so the sort (and the `_limit`
+// pruning that follows it) happens at the coordinator merge, never at the
+// workers. finalizeGroups produced the groups ascending by key and the
+// sort is stable, so aggregate ties keep key order — deterministic across
+// runs and machines. Null aggregates (empty _min/_max) sort last.
+func sortGroupsByAgg(groups []GroupRow, orders []OrderBy, aggIdx []int, aggs []Aggregate) {
+	sort.SliceStable(groups, func(i, j int) bool {
+		for k, ob := range orders {
+			col := aggs[aggIdx[k]].Raw
+			a, b := groups[i].Aggregates[col], groups[j].Aggregates[col]
+			an, bn := a.IsNull(), b.IsNull()
+			if an != bn {
+				return bn
+			}
+			if an {
+				continue
+			}
+			if cmp, ok := compareValues(a, b); ok && cmp != 0 {
+				if ob.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
 // sortKey is one resolved `_orderby` key of a row.
 type sortKey struct {
 	val bond.Value

@@ -235,11 +235,17 @@ func (l *loader) maybeFlush() error {
 }
 
 func (l *loader) vertex(id string, val bond.Value) (core.VertexPtr, error) {
+	return l.vertexTyped("entity", id, val)
+}
+
+// vertexTyped creates a vertex of an arbitrary type (generators outside
+// the film knowledge graph bring their own schemas).
+func (l *loader) vertexTyped(typ, id string, val bond.Value) (core.VertexPtr, error) {
 	if vp, ok := l.verts[id]; ok {
 		return vp, nil
 	}
 	l.begin()
-	vp, err := l.g.CreateVertex(l.tx, "entity", val)
+	vp, err := l.g.CreateVertex(l.tx, typ, val)
 	if err != nil {
 		return core.VertexPtr{}, fmt.Errorf("vertex %q: %w", id, err)
 	}

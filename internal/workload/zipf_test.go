@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+func TestZipfGraphSkew(t *testing.T) {
+	fab := fabric.New(fabric.DefaultConfig(8, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "t")
+	s.CreateGraph(c, "t", "z")
+	g, err := s.OpenGraph(c, "t", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := NewZipfGraph(1000, 2000, 1)
+	if err := z.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	if z.Stats.Vertices != 1000 || z.Stats.Edges != 2000 {
+		t.Fatalf("stats = %+v, want 1000/2000", z.Stats)
+	}
+	tx := f.CreateReadTransaction(c)
+	// The hot category must dominate: with s=1.3 over 50 categories it
+	// should cover well over a tenth of the vertices, far more than the
+	// uniform share (2%).
+	hot := 0
+	err = g.IndexScan(tx, "node", "category", bond.String(z.HotCategory()), func(core.VertexPtr) bool {
+		hot++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot < 200 {
+		t.Fatalf("hot category has %d vertices, want skewed (≥200 of 1000)", hot)
+	}
+	tail := 0
+	err = g.IndexScan(tx, "node", "category", bond.String(z.TailCategory()), func(core.VertexPtr) bool {
+		tail++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail >= hot/10 {
+		t.Fatalf("tail category has %d vertices vs hot %d, want ≪", tail, hot)
+	}
+	// The score index serves ordered scans.
+	n, err := g.CountVertices(c, "node")
+	if err != nil || n != 1000 {
+		t.Fatalf("CountVertices = %d, %v", n, err)
+	}
+}
