@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"plancache", "prepared statements: parse-once plan cache vs per-request parsing", single(bench.PlanCache)},
 	{"groupby", "grouped-aggregate pushdown vs coordinator-side grouping", single(bench.GroupBy)},
 	{"planner", "cost-based vs structural access-path choice on the Zipf-skewed workload", single(bench.Planner)},
+	{"toporder", "ordered traversal terminal: merged top-K vs frontier sort on the Zipf workload", single(bench.TopOrder)},
 }
 
 func main() {
@@ -61,12 +62,30 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		quick     = flag.Bool("quick", false, "smoke mode: tiny cluster and query counts so every experiment runs in seconds (CI)")
+		jsonDir   = flag.String("json", "", "also write each report as <dir>/<id>.json (benchmark trend artifacts)")
+		compare   = flag.String("compare", "", "compare two report directories, 'old:new' (or with -json as new), print a markdown delta table, and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	if *compare != "" {
+		oldDir, newDir, ok := strings.Cut(*compare, ":")
+		if !ok {
+			newDir = *jsonDir
+		}
+		if oldDir == "" || newDir == "" {
+			fmt.Fprintln(os.Stderr, "a1bench: -compare wants old:new directories (or -compare old -json new)")
+			os.Exit(2)
+		}
+		if err := bench.CompareDirs(os.Stdout, oldDir, newDir); err != nil {
+			fmt.Fprintf(os.Stderr, "a1bench: compare: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -104,6 +123,12 @@ func main() {
 		}
 		for _, r := range reports {
 			r.Format(os.Stdout)
+			if *jsonDir != "" {
+				if err := r.WriteJSON(*jsonDir); err != nil {
+					fmt.Fprintf(os.Stderr, "a1bench: %s: writing json: %v\n", r.ID, err)
+					os.Exit(1)
+				}
+			}
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", e.id, time.Since(start).Round(time.Millisecond))
 		ran++

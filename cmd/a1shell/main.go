@@ -19,13 +19,14 @@
 // re-running a shape (with the same or different bindings) skips the
 // parse; the stats line shows [plan cache hit] when it did.
 //
-// Shell commands: :help :let :unlet :explain :analyze :stats :examples :quit
+// Shell commands: :help :open :let :unlet :explain :analyze :stats :examples :quit
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 
 	"a1"
 	"a1/internal/bench"
+	"a1/internal/core"
 	"a1/internal/workload"
 )
 
@@ -80,7 +82,7 @@ func main() {
 		*machines, kg.Stats.Vertices, kg.Stats.Edges)
 	fmt.Println("enter an A1QL JSON document followed by a blank line; :help for commands")
 
-	sh := &shell{db: db, g: g, bindings: a1.Params{}}
+	sh := &shell{db: db, g: g, bindings: a1.Params{}, graphs: map[string]*a1.Graph{"film": g}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -123,9 +125,48 @@ type shell struct {
 	db       *a1.DB
 	g        *a1.Graph
 	bindings a1.Params
+	// graphs caches workload graphs already loaded by :open, keyed by
+	// workload name, so re-opening just switches.
+	graphs map[string]*a1.Graph
 	// explainNext makes the next entered document print its compiled
 	// operator tree instead of executing (set by :explain).
 	explainNext bool
+}
+
+// open loads (once) and switches to a named workload graph: "film" is the
+// preloaded knowledge graph, "zipf" the skewed planner workload with
+// indexed category/score and hub-skewed link edges.
+func (sh *shell) open(name string) {
+	if g, ok := sh.graphs[name]; ok {
+		sh.g = g
+		fmt.Printf("switched to %s\n", name)
+		return
+	}
+	if name != "zipf" {
+		fmt.Printf("unknown workload %q (:open film | zipf)\n", name)
+		return
+	}
+	var g *a1.Graph
+	var err error
+	sh.db.Run(func(c *a1.Ctx) {
+		// A previous :open may have created the graph and then failed to
+		// load it; tolerate the existing graph so retries can proceed.
+		if err = sh.db.CreateGraph(c, "bing", name); err != nil && !errors.Is(err, core.ErrExists) {
+			return
+		}
+		if g, err = sh.db.OpenGraph(c, "bing", name); err != nil {
+			return
+		}
+		z := workload.NewZipfGraph(2000, 6000, 1)
+		err = z.Load(c, g)
+	})
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	sh.graphs[name] = g
+	sh.g = g
+	fmt.Printf("loaded zipf workload into bing/%s (2000 vertices, 6000 edges; category and score indexed)\n", name)
 }
 
 // looksComplete reports whether braces balance (cheap multi-line check).
@@ -363,6 +404,12 @@ func (sh *shell) command(cmd string) bool {
 			break
 		}
 		delete(sh.bindings, fields[1])
+	case ":open":
+		if len(fields) != 2 {
+			fmt.Println("usage: :open film | zipf")
+			break
+		}
+		sh.open(fields[1])
 	case ":explain":
 		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cmd), ":explain"))
 		if rest != "" {
@@ -398,6 +445,7 @@ func (sh *shell) command(cmd string) bool {
 		fmt.Println(`:let k 5`)
 		fmt.Println(bench.QTopFilmsParam)
 	case ":help":
+		fmt.Println(":open name         switch workload graph: film (default) | zipf (skewed, indexed category/score)")
 		fmt.Println(":let               list parameter bindings")
 		fmt.Println(":let name value    bind $name (value is JSON: 42, 3.5, \"str\", true)")
 		fmt.Println(":unlet name        remove a binding")

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Benchmark trend tracking: every a1bench run can persist its reports as
+// JSON (one file per report id), CI uploads the directory as an artifact,
+// and pull requests diff their run against the latest main-branch artifact
+// with a per-report delta table in the job summary. Visibility only — no
+// gate: simulated-latency benches are deterministic per seed, but sizing
+// and cost-model changes legitimately move the numbers, so a human reads
+// the table instead of a threshold failing the build.
+
+// WriteJSON persists the report as <dir>/<id>.json, creating dir.
+func (r *Report) WriteJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, r.ID+".json"), append(b, '\n'), 0o644)
+}
+
+// LoadReports reads every *.json report in dir, keyed by report id.
+func LoadReports(dir string) (map[string]*Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Report, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r Report
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if r.ID == "" {
+			r.ID = strings.TrimSuffix(filepath.Base(p), ".json")
+		}
+		out[r.ID] = &r
+	}
+	return out, nil
+}
+
+// colMeans reduces a report to one value per column: the mean across rows.
+// Trend deltas compare these — coarse on purpose; the full tables live in
+// the artifacts.
+func colMeans(r *Report) map[string]float64 {
+	out := make(map[string]float64, len(r.Header))
+	for ci, h := range r.Header {
+		sum, n := 0.0, 0
+		for _, row := range r.Rows {
+			if ci < len(row) {
+				sum += row[ci]
+				n++
+			}
+		}
+		if n > 0 {
+			out[h] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// CompareDirs renders a markdown delta table between two report
+// directories — typically the latest main-branch artifact (old) against
+// this run (new). Reports or columns present on only one side are called
+// out instead of silently dropped.
+func CompareDirs(w io.Writer, oldDir, newDir string) error {
+	oldReps, err := LoadReports(oldDir)
+	if err != nil {
+		return err
+	}
+	newReps, err := LoadReports(newDir)
+	if err != nil {
+		return err
+	}
+	return CompareReports(w, oldReps, newReps)
+}
+
+// CompareReports writes the markdown delta table for two report sets.
+func CompareReports(w io.Writer, oldReps, newReps map[string]*Report) error {
+	ids := make([]string, 0, len(newReps))
+	for id := range newReps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintln(w, "### Benchmark trend (column means vs latest main artifact)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| report | metric | main | this run | delta |")
+	fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+	for _, id := range ids {
+		nr := newReps[id]
+		or, ok := oldReps[id]
+		if !ok {
+			fmt.Fprintf(w, "| %s | _new report_ | — | — | — |\n", id)
+			continue
+		}
+		om, nm := colMeans(or), colMeans(nr)
+		for _, h := range nr.Header {
+			nv, nok := nm[h]
+			if !nok {
+				continue
+			}
+			ov, ook := om[h]
+			if !ook {
+				fmt.Fprintf(w, "| %s | %s | _new column_ | %s | — |\n", id, h, fmtTrend(nv))
+				continue
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n", id, h, fmtTrend(ov), fmtTrend(nv), fmtDelta(ov, nv))
+		}
+		for _, h := range or.Header {
+			if _, ok := nm[h]; ok {
+				continue
+			}
+			if ov, ook := om[h]; ook {
+				fmt.Fprintf(w, "| %s | %s | %s | _removed column_ | — |\n", id, h, fmtTrend(ov))
+			}
+		}
+	}
+	removed := make([]string, 0)
+	for id := range oldReps {
+		if _, ok := newReps[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	if len(removed) > 0 {
+		sort.Strings(removed)
+		fmt.Fprintf(w, "\nreports no longer produced: %s\n", strings.Join(removed, ", "))
+	}
+	return nil
+}
+
+func fmtTrend(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// fmtDelta renders the relative change, flagging moves beyond 10% so the
+// table skims well in a PR summary.
+func fmtDelta(oldV, newV float64) string {
+	if oldV == newV {
+		return "="
+	}
+	if oldV == 0 {
+		return "n/a"
+	}
+	pct := (newV - oldV) / math.Abs(oldV) * 100
+	s := fmt.Sprintf("%+.1f%%", pct)
+	if math.Abs(pct) > 10 {
+		s = "**" + s + "**"
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTrendRoundTripAndCompare(t *testing.T) {
+	oldDir := filepath.Join(t.TempDir(), "main")
+	newDir := filepath.Join(t.TempDir(), "pr")
+	oldRep := &Report{
+		ID:     "demo",
+		Title:  "demo report",
+		Header: []string{"rate", "avg_us", "legacy"},
+		Rows:   [][]float64{{100, 50, 7}, {200, 70, 9}},
+	}
+	newRep := &Report{
+		ID:     "demo",
+		Title:  "demo report",
+		Header: []string{"rate", "avg_us"},
+		Rows:   [][]float64{{100, 55}, {200, 95}},
+	}
+	fresh := &Report{ID: "fresh", Header: []string{"x"}, Rows: [][]float64{{1}}}
+	for _, pair := range []struct {
+		dir string
+		rep *Report
+	}{{oldDir, oldRep}, {newDir, newRep}, {newDir, fresh}} {
+		if err := pair.rep.WriteJSON(pair.dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := LoadReports(oldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded["demo"] == nil || loaded["demo"].Rows[1][1] != 70 {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+
+	var b strings.Builder
+	if err := CompareDirs(&b, oldDir, newDir); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// avg_us mean moved 60 -> 75: +25%, beyond the 10% flag threshold.
+	for _, want := range []string{
+		"| demo | avg_us | 60 | 75 | **+25.0%** |",
+		"| demo | rate | 150 | 150 | = |",
+		"| demo | legacy | 8 | _removed column_ | — |",
+		"| fresh | _new report_ |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+	// Old side missing entirely: every report renders as new, no error.
+	b.Reset()
+	if err := CompareDirs(&b, filepath.Join(t.TempDir(), "empty"), newDir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "_new report_") {
+		t.Errorf("empty-old compare:\n%s", b.String())
+	}
+}

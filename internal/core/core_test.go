@@ -437,6 +437,63 @@ func TestIndexRangeScan(t *testing.T) {
 	}
 }
 
+func TestIndexMemberScanDir(t *testing.T) {
+	_, g, c := testGraph(t, 5)
+	origins := []string{"argentina", "brazil", "chile", "denmark", "ecuador", "france"}
+	ptrs := make([]VertexPtr, len(origins))
+	for i, origin := range origins {
+		ptrs[i] = mustCreateVertex(t, g, c, "actor", actorVal(fmt.Sprintf("m%d", i), origin))
+	}
+	rtx := g.store.farm.CreateReadTransaction(c)
+	// Membership covers brazil, denmark, france; the walk must surface only
+	// those, in index order, while still counting every entry passed over.
+	members := map[farm.Addr]bool{
+		ptrs[1].Addr: true, ptrs[3].Addr: true, ptrs[5].Addr: true,
+	}
+	var got []string
+	walked, err := g.IndexMemberScanDir(rtx, "actor", "origin", bond.Null, false, bond.Null, false, true, members, func(_ []byte, vp VertexPtr) bool {
+		v, err := g.ReadVertex(rtx, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ := v.Data.Field(1)
+		got = append(got, o.AsString())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"france", "denmark", "brazil"}
+	if len(got) != len(want) {
+		t.Fatalf("member scan visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("member scan order = %v, want %v", got, want)
+		}
+	}
+	if walked != len(origins) {
+		t.Errorf("walked = %d entries, want %d (non-members counted)", walked, len(origins))
+	}
+	// Early stop: the callback's false halts the walk; walked reflects only
+	// the entries actually passed.
+	got = nil
+	walked, err = g.IndexMemberScanDir(rtx, "actor", "origin", bond.Null, false, bond.Null, false, false, members, func(_ []byte, vp VertexPtr) bool {
+		got = append(got, "x")
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || walked >= len(origins) {
+		t.Errorf("early stop visited %d members over %d entries, want 1 over <%d", len(got), walked, len(origins))
+	}
+	// No index on the field: ErrNotFound like the other index scans.
+	if _, err := g.IndexMemberScanDir(rtx, "actor", "birth_date", bond.Null, false, bond.Null, false, false, members, func(_ []byte, vp VertexPtr) bool { return true }); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unindexed field err = %v, want ErrNotFound", err)
+	}
+}
+
 func TestIndexRangeScanDescending(t *testing.T) {
 	_, g, c := testGraph(t, 5)
 	origins := []string{"argentina", "brazil", "chile", "denmark", "ecuador", "france"}

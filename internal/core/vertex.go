@@ -578,13 +578,36 @@ func (g *Graph) IndexRangeScanBounds(tx *farm.Tx, typeName, fieldName string, lo
 // address suffix), so callers can detect attribute ties without reading
 // the vertex.
 func (g *Graph) IndexRangeScanBoundsDir(tx *farm.Tx, typeName, fieldName string, lo bond.Value, loInc bool, hi bond.Value, hiInc bool, desc bool, fn func(attrKey []byte, vp VertexPtr) bool) error {
+	_, err := g.indexWalkDir(tx, typeName, fieldName, lo, loInc, hi, hiInc, desc, nil, fn)
+	return err
+}
+
+// IndexMemberScanDir walks a secondary index in attribute order like
+// IndexRangeScanBoundsDir, but restricted to a membership set of vertex
+// addresses: entries whose vertex is outside the set are skipped inside the
+// walk without surfacing to the callback. This is the owner-side half of an
+// ordered traversal terminal — each machine walks the index in result order
+// but only its slice of the query frontier is eligible, so the expensive
+// per-vertex work touches frontier members only. Returns the number of
+// index entries passed over (skipped non-members plus accepted members), so
+// callers can account the walk's length against a full frontier
+// materialization.
+func (g *Graph) IndexMemberScanDir(tx *farm.Tx, typeName, fieldName string, lo bond.Value, loInc bool, hi bond.Value, hiInc bool, desc bool, members map[farm.Addr]bool, fn func(attrKey []byte, vp VertexPtr) bool) (int, error) {
+	return g.indexWalkDir(tx, typeName, fieldName, lo, loInc, hi, hiInc, desc, members, fn)
+}
+
+// indexWalkDir is the shared ordered secondary-index walk: bounds realize
+// inclusive/exclusive edges at key-prefix boundaries, a non-nil membership
+// set filters entries before the callback, and the entry count walked is
+// returned.
+func (g *Graph) indexWalkDir(tx *farm.Tx, typeName, fieldName string, lo bond.Value, loInc bool, hi bond.Value, hiInc bool, desc bool, members map[farm.Addr]bool, fn func(attrKey []byte, vp VertexPtr) bool) (int, error) {
 	vt, err := g.vertexType(tx.Ctx(), typeName)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	f, ok := vt.Schema.FieldByName(fieldName)
 	if !ok {
-		return fmt.Errorf("%w: field %q", ErrBadSchema, fieldName)
+		return 0, fmt.Errorf("%w: field %q", ErrBadSchema, fieldName)
 	}
 	for _, si := range vt.Secondary {
 		if si.FieldID != f.ID {
@@ -608,19 +631,28 @@ func (g *Graph) IndexRangeScanBoundsDir(tx *farm.Tx, typeName, fieldName string,
 				to = enc
 			}
 		}
+		walked := 0
 		visit := func(k, v []byte) bool {
+			walked++
+			vp := valuePtr(v)
+			if members != nil && !members[vp.Addr] {
+				return true
+			}
 			attr := k
 			if len(attr) >= 8 {
 				attr = attr[:len(attr)-8] // strip the address suffix
 			}
-			return fn(attr, valuePtr(v))
+			return fn(attr, vp)
 		}
+		var scanErr error
 		if desc {
-			return st.ScanDesc(tx, from, to, visit)
+			scanErr = st.ScanDesc(tx, from, to, visit)
+		} else {
+			scanErr = st.Scan(tx, from, to, visit)
 		}
-		return st.Scan(tx, from, to, visit)
+		return walked, scanErr
 	}
-	return fmt.Errorf("%w: no secondary index on %s.%s", ErrNotFound, typeName, fieldName)
+	return 0, fmt.Errorf("%w: no secondary index on %s.%s", ErrNotFound, typeName, fieldName)
 }
 
 // CountVertices returns the number of vertices of a type (primary index

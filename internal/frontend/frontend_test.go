@@ -2,6 +2,7 @@ package frontend
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -117,6 +118,85 @@ func TestOrderedPagingThroughFrontend(t *testing.T) {
 		if pops[i] > pops[i-1] {
 			t.Errorf("order broken across pages at row %d", i)
 		}
+	}
+}
+
+func TestOrderedTraverseThroughFrontend(t *testing.T) {
+	// An OrderedTraverse terminal (per-machine index-order partial scans,
+	// k-way merged at the coordinator) pages through the tier like every
+	// other terminal: each fetch re-enters through the SLB and the token
+	// routes it back to the merging coordinator. The Zipf workload's
+	// skewed traversal makes the cost model pick the operator.
+	fab := fabric.New(fabric.DefaultConfig(8, fabric.Direct), nil)
+	f := farm.Open(fab, farm.Config{RegionSize: 16 << 20})
+	c := fab.NewCtx(0, nil)
+	s, err := core.Open(c, f, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateTenant(c, "bing")
+	s.CreateGraph(c, "bing", "zipf")
+	g, err := s.OpenGraph(c, "bing", "zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := workload.NewZipfGraph(2000, 12000, 1)
+	if err := z.Load(c, g); err != nil {
+		t.Fatal(err)
+	}
+	engine := query.NewEngine(s, query.DefaultConfig())
+	tier := New(fab, engine, Config{Frontends: 2})
+
+	doc := []byte(`{"_hints": {"page_size": 4}, "_type": "node", "category": "` + z.HotCategory() + `",
+		"_out_edge": {"_type": "link", "_vertex": {"_type": "node",
+		"_select": ["id", "score"], "_orderby": "-score", "_limit": 16}}}`)
+	res, err := tier.Query(c, g, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := res.Stats.Levels
+	if len(lv) == 0 || !strings.HasPrefix(lv[len(lv)-1].Source, "OrderedTraverse") {
+		t.Fatalf("terminal source = %+v, want OrderedTraverse (tier coverage is vacuous)", lv)
+	}
+	var scores []int64
+	for {
+		for _, row := range res.Rows {
+			scores = append(scores, row.Values["score"].AsInt())
+		}
+		if res.Continuation == "" {
+			break
+		}
+		res, err = tier.Fetch(c, res.Continuation)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(scores) != 16 {
+		t.Fatalf("paged %d rows, want 16", len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[i-1] {
+			t.Errorf("merged order broken across pages at row %d: %d > %d", i, scores[i], scores[i-1])
+		}
+	}
+
+	// Abandoning a merged stream mid-way releases the coordinator state.
+	rows, err := tier.QueryRows(c, g, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next(c) {
+		t.Fatal("no first row")
+	}
+	if err := rows.Close(c); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for m := 0; m < fab.Machines(); m++ {
+		total += engine.PendingResults(fabric.MachineID(m))
+	}
+	if total != 0 {
+		t.Errorf("%d continuation entries left after cursor Close", total)
 	}
 }
 

@@ -30,18 +30,24 @@ const (
 const estUnknown = -1
 
 // planContext carries one execution's planner inputs: the cluster-wide
-// stats summary (nil when structural), the live index probe, and the cost
-// model.
+// stats summary (nil when structural), the live index probe, the cluster
+// size (per-machine partial scans fan out across it), and the cost model.
 type planContext struct {
 	sum        *stats.GraphSummary
 	probe      indexProbe
 	cfg        *Config
+	machines   int
 	structural bool
 }
 
 // newPlanContext snapshots the planner inputs for one execution or Explain.
 func newPlanContext(c *fabric.Ctx, e *Engine, g *core.Graph) *planContext {
-	pc := &planContext{cfg: &e.cfg, probe: indexProbeFor(c, g), structural: e.cfg.StructuralPlanner}
+	pc := &planContext{
+		cfg:        &e.cfg,
+		probe:      indexProbeFor(c, g),
+		machines:   e.store.Farm().Fabric().Machines(),
+		structural: e.cfg.StructuralPlanner,
+	}
 	if !pc.structural {
 		pc.sum = e.store.StatsSummary(c, g.Tenant(), g.Name())
 	}
@@ -310,6 +316,103 @@ func rankStartCandidates(sp *StartPlan, pat *VertexPattern, pc *planContext) []s
 		}
 	}
 	return cands
+}
+
+// orderedTraverseChoice is the costed decision for an ordered traversal
+// terminal: whether per-machine index-order partial scans beat reading the
+// whole frontier and sorting it at the coordinator.
+type orderedTraverseChoice struct {
+	use   bool
+	label string // operator rendering for Explain and Stats.Levels
+	est   float64
+}
+
+// rankOrderedTraverse costs the OrderedTraverse candidate against the
+// materialize-and-sort fallback for a terminal frontier of the given size.
+// frontier is the actual frontier length at execution time and the chained
+// level estimate during Explain.
+//
+// The fallback reads every frontier vertex, so its cost scales with the
+// frontier. The ordered traversal instead has each of the (up to) M
+// machines holding frontier vertices walk the order field's index until
+// `limit+skip` of *its* members survive the residual predicates — expected
+// walk length per machine is the index size scaled by the fraction of hits
+// needed (index entries are cheap: no vertex read), and only member hits
+// are read. Statistics supply the index entry count; without them (or under
+// Config.StructuralPlanner) the decision degrades to the sort fallback,
+// never worse than PR 3 behavior.
+func (pc *planContext) rankOrderedTraverse(pat *VertexPattern, otp *OrderedScanPlan, frontier float64) orderedTraverseChoice {
+	no := orderedTraverseChoice{est: estUnknown}
+	if pc.structural || pc.sum == nil || frontier <= 0 {
+		return no
+	}
+	if !pc.probe(pat.Type, otp.Field) {
+		return no
+	}
+	target := float64(pat.Limit + pat.Skip)
+	if pat.Limit <= 0 {
+		if pat.LimitParam == "" {
+			return no
+		}
+		target = float64(pc.cfg.PageSize) // unbound $limit: assume a page
+	}
+	fs, ok := pc.sum.FieldStats(pat.Type, otp.Field)
+	if !ok || fs.Count <= 0 {
+		return no
+	}
+	indexEntries := float64(fs.Count)
+	read, merge, pred := pc.costModel()
+	enum := float64(pc.cfg.CostEdgeEnum)
+	if enum == 0 {
+		enum = float64(DefaultConfig().CostEdgeEnum)
+	}
+	npreds := float64(len(pat.Preds))
+
+	sel := pc.residualSelectivity(pat, otp.Field)
+	if sel <= 0 {
+		sel = defaultEqSel
+	}
+	// Machines holding frontier vertices (random placement spreads them).
+	m := float64(pc.machines)
+	if frontier < m {
+		m = frontier
+	}
+	if m < 1 {
+		m = 1
+	}
+	perMachine := frontier / m
+	// Member hits needed per machine before target rows survive residual
+	// filtering, capped by the machine's share of the frontier.
+	hits := target / sel
+	if hits > perMachine {
+		hits = perMachine
+	}
+	// Expected index entries walked per machine to encounter that many of
+	// its members (hits are spread uniformly through the index).
+	walk := indexEntries
+	if perMachine > 0 && hits < perMachine {
+		walk = indexEntries * hits / perMachine
+	}
+	orderedCost := m * (walk*enum + hits*(read+npreds*pred))
+	fallbackCost := frontier * (merge + read + npreds*pred)
+
+	dir := "asc"
+	if otp.Desc {
+		dir = "desc"
+	}
+	stop := fmt.Sprintf("stop after %d", int64(target))
+	if pat.Limit <= 0 {
+		stop = "stop after $" + pat.LimitParam
+	}
+	est := target
+	if est > frontier*sel {
+		est = frontier * sel
+	}
+	return orderedTraverseChoice{
+		use:   orderedCost < fallbackCost,
+		label: fmt.Sprintf("OrderedTraverse(%s.%s %s, %s)", pat.Type, otp.Field, dir, stop),
+		est:   est,
+	}
 }
 
 // filterEstimate estimates the membership-set size of a traversal level's

@@ -293,6 +293,42 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 					st.member = member
 				}
 			}
+			// Ordered traversal terminal: when the statistics say per-machine
+			// index-order partial scans beat materializing the frontier, each
+			// owner walks the order field's index restricted to its slice of
+			// the frontier and ships its top limit+skip rows; the coordinator
+			// k-way merges them. Falls through to the sort path when no index
+			// exists (served=false).
+			if lp.Terminal && lp.OrderedTraverse != nil && len(frontier) > 0 {
+				eligible := frontier
+				if st.member != nil {
+					eligible = memberSubset(frontier, st.member)
+				}
+				choice := st.pc.rankOrderedTraverse(pat, lp.OrderedTraverse, float64(len(eligible)))
+				if choice.use {
+					oRows, served, err := st.execOrderedTraverse(qc, eligible, pat, lp.OrderedTraverse)
+					if err != nil {
+						return nil, err
+					}
+					if served {
+						if dropped := len(frontier) - len(eligible); dropped > 0 {
+							st.mu.Lock()
+							st.stats.IndexFiltered += int64(dropped)
+							st.mu.Unlock()
+						}
+						st.member = nil
+						st.stats.Hops++
+						// The terminal level reports the operator that ran
+						// with its own estimated-vs-actual output rows.
+						st.setLevelSource(level, choice.label)
+						st.setLevelEst(level, choice.est)
+						st.setActRows(level, len(oRows))
+						rows = oRows
+						st.preOrdered = true
+						break
+					}
+				}
+			}
 			out, err := st.execLevel(qc, frontier, pat, lp)
 			st.member = nil
 			if err != nil {
@@ -473,6 +509,32 @@ func (st *execState) setActRows(level, n int) {
 	if level < len(st.levels) {
 		st.levels[level].ActRows = int64(n)
 	}
+}
+
+// setLevelSource overrides a level's reported access path once a runtime
+// decision (e.g. OrderedTraverse) replaces the structural default.
+func (st *execState) setLevelSource(level int, src string) {
+	if level < len(st.levels) {
+		st.levels[level].Source = src
+	}
+}
+
+func (st *execState) setLevelEst(level int, est float64) {
+	if level < len(st.levels) && est >= 0 {
+		st.levels[level].EstRows = roundEst(est)
+	}
+}
+
+// memberSubset returns the frontier vertices inside an index-membership
+// set, preserving order.
+func memberSubset(frontier []core.VertexPtr, member map[farm.Addr]bool) []core.VertexPtr {
+	out := make([]core.VertexPtr, 0, len(frontier))
+	for _, vp := range frontier {
+		if member[vp.Addr] {
+			out = append(out, vp)
+		}
+	}
+	return out
 }
 
 // resolveMatchTargets pre-resolves `_match` subpatterns that terminate in a
@@ -782,6 +844,223 @@ func (st *execState) orderedScan(qc *fabric.Ctx, tx *farm.Tx, pat *VertexPattern
 	return rows, true, nil
 }
 
+// execOrderedTraverse runs an ordered traversal terminal: the frontier is
+// partitioned by primary host, each machine walks the `_orderby` field's
+// secondary index in result order restricted to its slice of the frontier
+// (orderedMemberScan) and ships only its top limit+skip rows, and the
+// coordinator k-way merges the per-machine ordered lists. served=false
+// means the order field has no index (or the type is unknown) and the
+// caller falls back to materialize-and-sort.
+//
+// Exact parity with the sort fallback: each machine resolves boundary
+// tie-runs locally before trimming (see orderedMemberScan), per-machine
+// lists are totally ordered by rowLess (address tiebreak), and a machine's
+// rows beyond its top limit+skip can never enter the global top limit+skip
+// — they are dominated by that machine's own shipped rows — so the merge
+// of the shipped prefixes equals the fallback's global sort prefix.
+func (st *execState) execOrderedTraverse(qc *fabric.Ctx, frontier []core.VertexPtr, pat *VertexPattern, otp *OrderedScanPlan) ([]Row, bool, error) {
+	if pat.Limit <= 0 {
+		return nil, false, nil
+	}
+	target := pat.Limit + pat.Skip
+	f := st.engine.store.Farm()
+	groups := make(map[fabric.MachineID][]core.VertexPtr)
+	var order []fabric.MachineID
+	for _, vp := range frontier {
+		m, err := f.PrimaryOf(qc, vp.Addr)
+		if err != nil {
+			return nil, false, err
+		}
+		if _, ok := groups[m]; !ok {
+			order = append(order, m)
+		}
+		groups[m] = append(groups[m], vp)
+	}
+	lists := make([][]Row, len(order))
+	var mu sync.Mutex
+	var firstErr error
+	notServed := false
+	qc.Parallel(len(order), func(i int, cc *fabric.Ctx) {
+		m := order[i]
+		batch := groups[m]
+		ship := !st.hints.NoShipping && m != cc.M && len(batch) >= st.engine.cfg.ShipThreshold
+		var rows []Row
+		var served bool
+		var err error
+		var rb int
+		if ship {
+			reqBytes := len(batch)*ptrWireBytes + 128
+			err = cc.RPC(m, reqBytes, func(sc *fabric.Ctx) (int, error) {
+				rows, served, err = st.orderedMemberScan(sc, batch, pat, otp, target)
+				if err != nil {
+					return 0, err
+				}
+				rb = 0
+				for r := range rows {
+					rb += rows[r].wireBytes()
+				}
+				return rb, nil
+			})
+		} else {
+			rows, served, err = st.orderedMemberScan(cc, batch, pat, otp, target)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if !served {
+			notServed = true
+			return
+		}
+		if ship {
+			st.mu.Lock()
+			st.stats.RowsShipped += int64(len(rows))
+			st.stats.BytesShipped += int64(rb)
+			st.mu.Unlock()
+		}
+		lists[i] = rows
+	})
+	if firstErr != nil {
+		return nil, false, firstErr
+	}
+	if notServed {
+		return nil, false, nil
+	}
+	merged := mergeSortedRows(lists, pat.Orders, target)
+	qc.Work(time.Duration(len(merged)) * st.engine.cfg.CostMerge)
+	return merged, true, nil
+}
+
+// orderedMemberScan is the owner-side half of an ordered traversal
+// terminal: walk the order field's index in result order, skip entries
+// outside this machine's frontier slice without reading them, residually
+// filter and materialize member hits, and stop once limit+skip survive —
+// O(limit) vertex reads per machine instead of its whole frontier share.
+// Mirrors orderedScan's correctness machinery: range predicates on the
+// order field bound the walk, boundary tie-runs are collected whole so the
+// final sort breaks ties exactly like the fallback (ascending address),
+// and members the index never listed (null/missing order key) top up an
+// under-filled result in fallback order. served=false means no index
+// serves the field.
+func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, pat *VertexPattern, otp *OrderedScanPlan, target int) ([]Row, bool, error) {
+	e := st.engine
+	g := st.graph
+	tx := e.store.Farm().CreateReadTransactionAt(sc, st.ts)
+	schema, err := g.VertexTypeSchema(sc, pat.Type)
+	if err != nil {
+		return nil, false, nil // unknown type: the fallback surfaces the error
+	}
+	members := make(map[farm.Addr]bool, len(batch))
+	for _, vp := range batch {
+		members[vp.Addr] = true
+	}
+	lo, loInc, hi, hiInc := bond.Null, false, bond.Null, false
+	for _, spec := range rangeSpecs(pat.Preds) {
+		if spec.field != otp.Field {
+			continue
+		}
+		fdef, ok := schema.FieldByName(spec.field)
+		if !ok {
+			break
+		}
+		clo, cloInc, chi, chiInc, cok, empty := coerceRange(spec, fdef.Type.Kind)
+		if empty {
+			// The range excludes every stored value, and a range predicate
+			// never matches a missing field: no rows from this machine.
+			return nil, true, nil
+		}
+		if cok {
+			lo, loInc, hi, hiInc = clo, cloInc, chi, chiInc
+		}
+		break
+	}
+	var rows []Row
+	var lastAttr []byte
+	var innerErr error
+	seen := make(map[farm.Addr]bool, len(batch))
+	stopped := false
+	walked, err := g.IndexMemberScanDir(tx, pat.Type, otp.Field, lo, loInc, hi, hiInc, otp.Desc, members, func(attrKey []byte, vp core.VertexPtr) bool {
+		// Past the target, only key-ties with the boundary row still matter
+		// (the fallback breaks ties ascending by address; a descending walk
+		// yields them address-descending, so the whole boundary tie-run must
+		// be in hand before the final sort picks the same winners).
+		if len(rows) >= target && !bytes.Equal(attrKey, lastAttr) {
+			stopped = true
+			return false
+		}
+		seen[vp.Addr] = true
+		row, ok, err := st.buildTerminalRow(sc, tx, vp, pat)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		rows = append(rows, row)
+		lastAttr = append(lastAttr[:0], attrKey...)
+		return true
+	})
+	// Index entries passed over (members and non-members alike) are priced
+	// as enumeration work, not vertex reads — the saving the operator buys.
+	sc.Work(time.Duration(walked) * e.cfg.CostEdgeEnum)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, false, nil // no index on the order field
+	}
+	if err == nil {
+		err = innerErr
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	// Restore the fallback's exact order (ties ascending by address) and
+	// trim the boundary tie-run overshoot.
+	sortRows(rows, pat.Orders)
+	if len(rows) > target {
+		rows = rows[:target]
+	}
+	// Keyless top-up: when the walk exhausted the index (never stopped
+	// early) and still under-filled the target, the unseen members are
+	// exactly those without an indexed order key; they sort after every
+	// keyed row, so they only matter here — and never when a predicate
+	// constrains the order field (a missing field fails every predicate).
+	needTail := !stopped && len(rows) < target
+	if needTail {
+		for _, p := range pat.Preds {
+			if p.Path.Field == otp.Field {
+				needTail = false
+				break
+			}
+		}
+	}
+	if needTail {
+		var tail []Row
+		for _, vp := range batch {
+			if seen[vp.Addr] {
+				continue
+			}
+			row, ok, err := st.buildTerminalRow(sc, tx, vp, pat)
+			if err != nil {
+				return nil, true, err
+			}
+			if !ok || (len(row.keys) > 0 && row.keys[0].ok) {
+				continue // keyed rows already came off the index
+			}
+			tail = append(tail, row)
+		}
+		sortRows(tail, pat.Orders) // keyless: stable address order
+		if len(tail) > target-len(rows) {
+			tail = tail[:target-len(rows)]
+		}
+		rows = append(rows, tail...)
+	}
+	return rows, true, nil
+}
+
 // buildTerminalRow reads one candidate vertex, applies the terminal
 // level's residual filters (type, predicates, _match), and materializes
 // its row with projections and sort keys.
@@ -819,11 +1098,22 @@ func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.Verte
 			return Row{}, false, nil
 		}
 	}
+	return newRow(vp, v.Data, pat, schema), true, nil
+}
+
+// newRow materializes one terminal row from a vertex's pre-shape data.
+// Projections and `_orderby` sort keys both resolve against the stored
+// vertex value, never against the shaped projection: a `_select` that
+// omits the order key must not change the ordering (a shaped-out key would
+// otherwise compare as a zero value). Every row producer — worker batches,
+// ordered scans, ordered traversals — funnels through here so the sort
+// fallback and the index-order paths agree byte for byte.
+func newRow(vp core.VertexPtr, data bond.Value, pat *VertexPattern, schema *bond.Schema) Row {
 	row := Row{Vertex: vp}
 	if len(pat.Selects) > 0 {
 		row.Values = make(map[string]bond.Value, len(pat.Selects))
 		for _, sel := range pat.Selects {
-			if val, ok := resolvePath(v.Data, sel, schema); ok {
+			if val, ok := resolvePath(data, sel, schema); ok {
 				row.Values[sel.Raw] = val
 			}
 		}
@@ -831,11 +1121,11 @@ func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.Verte
 	if len(pat.Orders) > 0 {
 		row.keys = make([]sortKey, len(pat.Orders))
 		for i, ob := range pat.Orders {
-			val, ok := resolvePath(v.Data, ob.Path, schema)
+			val, ok := resolvePath(data, ob.Path, schema)
 			row.keys[i] = sortKey{val: val, ok: ok}
 		}
 	}
-	return row, true, nil
+	return row
 }
 
 // buildMemberFilter interprets a traversal level's IndexFilter: it resolves
@@ -1168,20 +1458,8 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 				continue
 			}
 			row := Row{Vertex: vp}
-			if len(pat.Selects) > 0 && vtx != nil {
-				row.Values = make(map[string]bond.Value, len(pat.Selects))
-				for _, sel := range pat.Selects {
-					if v, ok := resolvePath(vtx.Data, sel, schema); ok {
-						row.Values[sel.Raw] = v
-					}
-				}
-			}
-			if len(pat.Orders) > 0 && vtx != nil {
-				row.keys = make([]sortKey, len(pat.Orders))
-				for i, ob := range pat.Orders {
-					v, ok := resolvePath(vtx.Data, ob.Path, schema)
-					row.keys[i] = sortKey{val: v, ok: ok}
-				}
+			if vtx != nil {
+				row = newRow(vp, vtx.Data, pat, schema)
 			}
 			out.rows = append(out.rows, row)
 			st.rowsOut.Add(1)

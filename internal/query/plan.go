@@ -96,6 +96,16 @@ type LevelPlan struct {
 	Traverse bool
 	// Group computes grouped aggregates (terminal `_groupby`).
 	Group *GroupPlan
+	// OrderedTraverse, when non-nil, is the ordered-traversal-terminal
+	// candidate (terminal levels at depth >= 1 only): the level's single
+	// `_orderby` key is a plain field of the level's type and a `_limit`
+	// bounds the result, so each machine can walk the field's secondary
+	// index in result order restricted to its slice of the frontier and ship
+	// only its top limit+skip rows, which the coordinator k-way merges. Like
+	// every index candidate it resolves at run time: no index — or a cost
+	// estimate that favors materialize-and-sort — falls back to the sort
+	// path.
+	OrderedTraverse *OrderedScanPlan
 }
 
 // Plan is a compiled query: one LevelPlan per traversal level.
@@ -174,6 +184,18 @@ func compilePlan(q *Query) *Plan {
 			hasRange := plainRangePreds(vp.Preds)
 			if len(eq) > 0 || hasRange {
 				lp.IndexFilter = &IndexFilterPlan{EqPreds: eq, HasRange: hasRange}
+			}
+			// Ordered traversal terminal: same shape gate as the root
+			// OrderedIndexScan (single plain `_orderby` key, a limit to stop
+			// at, no aggregation), but the frontier arrives from a traversal
+			// instead of an index.
+			if lp.Terminal && len(vp.Orders) == 1 &&
+				len(vp.Aggs) == 0 && len(vp.GroupBy) == 0 &&
+				(vp.Limit > 0 || vp.LimitParam != "") {
+				ob := vp.Orders[0]
+				if !ob.Path.IsMap && !ob.Path.IsList && !ob.Path.Wildcard {
+					lp.OrderedTraverse = &OrderedScanPlan{Field: ob.Path.Field, Desc: ob.Desc}
+				}
 			}
 		}
 		pl.Levels = append(pl.Levels, lp)
@@ -258,6 +280,13 @@ func (pl *Plan) Explain(q *Query, pc *planContext) string {
 		src := "Frontier"
 		if i == 0 && lp.Start != nil {
 			src = start.label
+		} else if lp.OrderedTraverse != nil && i < len(ests) && ests[i] >= 0 {
+			// Ordered traversal terminal: resolve the candidate against the
+			// live index catalog and statistics with the chained frontier
+			// estimate, so the printed operator is the one that will run.
+			if choice := pc.rankOrderedTraverse(vp, lp.OrderedTraverse, ests[i]); choice.use {
+				src = choice.label
+			}
 		}
 		est := ""
 		if i < len(ests) && ests[i] >= 0 {

@@ -304,3 +304,40 @@ func topK(rows []Row, orders []OrderBy, k int) []Row {
 	}
 	return rows
 }
+
+// mergeSortedRows streams the coordinator's k-way merge over per-machine
+// ordered partial results (OrderedTraverse), emitting the global top k.
+// Each input list is already totally ordered by rowLess (ties broken on the
+// vertex address, and addresses never repeat across machines), so
+// repeatedly taking the least head reproduces exactly what sorting the
+// concatenation would — without ever materializing it. The head scan is
+// linear in the list count: k is a query limit and the list count is
+// bounded by the cluster size, so a heap would not pay for itself.
+func mergeSortedRows(lists [][]Row, orders []OrderBy, k int) []Row {
+	pos := make([]int, len(lists))
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total > k {
+		total = k
+	}
+	out := make([]Row, 0, total)
+	for len(out) < k {
+		best := -1
+		for i := range lists {
+			if pos[i] >= len(lists[i]) {
+				continue
+			}
+			if best < 0 || rowLess(&lists[i][pos[i]], &lists[best][pos[best]], orders) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}

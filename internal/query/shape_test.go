@@ -390,6 +390,40 @@ func TestOrderedLimitPrunesShippedRows(t *testing.T) {
 	}
 }
 
+func TestSortFallbackUsesPreShapeOrderKeys(t *testing.T) {
+	// Regression guard for the coordinator sort fallback: `_orderby` keys
+	// must resolve from the stored vertex data, never from the `_select`
+	// projection — a shaped-out order key would otherwise compare as a zero
+	// value and silently scramble the ordering. Shipping is forced so the
+	// keys cross the (simulated) wire with the rows.
+	env := shipEnv(t)
+	for _, limit := range []string{``, `, "_limit": 7`, `, "_limit": 5, "_skip": 3`} {
+		shaped, err := env.engine.Execute(env.c, env.graph, []byte(
+			`{"_type": "entity", "str_str_map[kind]": "film", "_select": ["id"], "_orderby": "-popularity"`+limit+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyed, err := env.engine.Execute(env.c, env.graph, []byte(
+			`{"_type": "entity", "str_str_map[kind]": "film", "_select": ["id", "popularity"], "_orderby": "-popularity"`+limit+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shaped.Rows) == 0 || len(shaped.Rows) != len(keyed.Rows) {
+			t.Fatalf("limit %q: %d shaped rows vs %d keyed", limit, len(shaped.Rows), len(keyed.Rows))
+		}
+		for i := range shaped.Rows {
+			if _, ok := shaped.Rows[i].Values["popularity"]; ok {
+				t.Fatalf("limit %q: shaped row %d leaked the order key into the projection", limit, i)
+			}
+			a := shaped.Rows[i].Values["id"].AsString()
+			b := keyed.Rows[i].Values["id"].AsString()
+			if a != b {
+				t.Errorf("limit %q: row %d = %s with the key shaped out, %s with it selected", limit, i, a, b)
+			}
+		}
+	}
+}
+
 // Continuation edge cases.
 
 func TestOrderedContinuationPagesStaySorted(t *testing.T) {

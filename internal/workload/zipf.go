@@ -120,6 +120,16 @@ func (z *ZipfGraph) TopKInCategoryQuery(category string, k int) string {
 	return fmt.Sprintf(`{"_type": "node", "category": %q, "_orderby": "-score", "_limit": %d, "_select": ["id", "score"]}`, category, k)
 }
 
+// TopKNeighborsQuery is the ordered-traversal shape: the top-K scores
+// among the out-neighbors of a category's vertices. The frontier arrives
+// from a traversal (not an index), so a structural planner materializes
+// and sorts it at the coordinator, while a cost-based planner compiles the
+// terminal to OrderedTraverse — per-machine score-index walks restricted
+// to the frontier, merged top-K at the coordinator.
+func (z *ZipfGraph) TopKNeighborsQuery(category string, k int) string {
+	return fmt.Sprintf(`{"_type": "node", "category": %q, "_out_edge": {"_type": "link", "_vertex": {"_type": "node", "_orderby": "-score", "_limit": %d, "_select": ["id", "score"]}}}`, category, k)
+}
+
 // TopGroupsQuery ranks categories by population — the `_groupby` +
 // aggregate `_orderby` top-K-groups shape.
 func (z *ZipfGraph) TopGroupsQuery(k int) string {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Scripted a1shell session: :open the zipf workload, run a query, and
+# :explain an ordered traversal — so shell regressions fail CI instead of
+# being found by hand. Run from the repo root; exercises the same binary CI
+# builds with `go build ./cmd/...`.
+set -euo pipefail
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+go run ./cmd/a1shell -machines 8 >"$out" 2>&1 <<'EOF'
+:help
+:open zipf
+{ "_type": "node", "category": "c000", "_select": ["id", "score"],
+  "_orderby": "-score", "_limit": 3 }
+
+:explain { "_type": "node", "category": "c000", "_out_edge": { "_type": "link", "_vertex": { "_type": "node", "_orderby": "-score", "_limit": 5, "_select": ["id"] } } }
+:open film
+:let director "steven.spielberg"
+{ "id": "$director", "_out_edge": { "_type": "director.film",
+    "_vertex": { "_select": ["_count(*)"] } } }
+
+:quit
+EOF
+
+fail() {
+  echo "shell smoke: missing expected output: $1" >&2
+  echo "---- session transcript ----" >&2
+  cat "$out" >&2
+  exit 1
+}
+
+grep -q "knowledge graph loaded" "$out" || fail "startup banner"
+grep -q "loaded zipf workload" "$out" || fail ":open zipf"
+# The top-3-by-score query prints rows with projected values.
+grep -q "score=" "$out" || fail "query rows"
+# Explain renders the operator tree with cardinality estimates; the ordered
+# traversal terminal resolves to OrderedTraverse against live statistics.
+grep -q "L0 IndexScan" "$out" || fail ":explain operator tree"
+grep -q "est=" "$out" || fail ":explain estimates"
+grep -q "OrderedTraverse" "$out" || fail ":explain OrderedTraverse terminal"
+grep -q "switched to film" "$out" || fail ":open film switch-back"
+grep -q "count:" "$out" || fail "parameterized count query"
+grep -q "plan:" "$out" || fail "per-level plan stats line"
+
+echo "shell smoke: ok"
