@@ -1,0 +1,102 @@
+// Command a1lint is the multichecker driver for the engine's
+// project-specific analyzers (internal/lint): the distributed-correctness
+// contracts — stats commit hooks on write paths, deterministic map
+// handling in output paths, no machine-local lock spanning a fabric round
+// trip, batched frontier reads, and HTTP-mapped error codes — enforced as
+// build failures.
+//
+// Usage:
+//
+//	a1lint [-only name,...] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. Findings
+// print as file:line:col: message (analyzer) and make the exit status
+// non-zero. Suppress an individual finding with
+//
+//	//lint:ignore a1/<analyzer> <written justification>
+//
+// on (or directly above) the offending line; directives without a
+// justification, and directives that no longer match anything, are
+// themselves findings.
+//
+// The driver runs standalone; `go vet -vettool` integration needs the
+// x/tools unitchecker protocol and is gated on that dependency being
+// admitted (the analyzers are written against an API-compatible shim, so
+// the switch is mechanical).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"a1/internal/lint"
+	"a1/internal/lint/analysis"
+	"a1/internal/lint/load"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings with their justifications")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		sel, ok := lint.ByName(strings.Split(*only, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "a1lint: unknown analyzer in -only=%s (try -list)\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := load.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "a1lint: %v\n", err)
+		os.Exit(2)
+	}
+	// Unused-suppression checking is only sound when every analyzer runs:
+	// a directive for a deselected analyzer is not stale.
+	checkUnused := len(analyzers) == len(lint.All())
+	res, err := analysis.Run(prog, analyzers, checkUnused)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "a1lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range append(res.Diagnostics, res.Problems...) {
+		fmt.Printf("%s: %s (%s)\n", relPos(cwd, d), d.Message, d.Analyzer)
+	}
+	if *verbose {
+		for _, d := range res.Suppressed {
+			fmt.Printf("%s: suppressed: %s (%s)\n", relPos(cwd, d), d.Message, d.Analyzer)
+		}
+	}
+	if n := len(res.Diagnostics) + len(res.Problems); n > 0 {
+		fmt.Fprintf(os.Stderr, "a1lint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func relPos(cwd string, d analysis.Diagnostic) string {
+	name := d.Pos.Filename
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d", name, d.Pos.Line, d.Pos.Column)
+}

@@ -282,9 +282,14 @@ func (sh *shell) runQuery(doc string) {
 				if len(row.Values) == 0 {
 					fmt.Printf("  %v\n", row.Vertex.Addr)
 				} else {
+					cols := make([]string, 0, len(row.Values))
+					for k := range row.Values {
+						cols = append(cols, k)
+					}
+					sort.Strings(cols)
 					var parts []string
-					for k, v := range row.Values {
-						parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+					for _, k := range cols {
+						parts = append(parts, fmt.Sprintf("%s=%s", k, row.Values[k]))
 					}
 					fmt.Printf("  %s\n", strings.Join(parts, "  "))
 				}

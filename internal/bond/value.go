@@ -83,6 +83,7 @@ func Map(entries ...MapEntry) Value {
 func StringMap(m map[string]string) Value {
 	es := make([]MapEntry, 0, len(m))
 	for k, v := range m {
+		//lint:ignore a1/maporder Map sorts entries by encoded key below, so iteration order never reaches the encoding
 		es = append(es, MapEntry{Key: String(k), Value: String(v)})
 	}
 	return Map(es...)

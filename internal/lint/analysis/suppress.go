@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression is one //lint:ignore directive found in a source file.
+//
+// Syntax (staticcheck-compatible):
+//
+//	//lint:ignore a1/<analyzer> <mandatory justification>
+//
+// A directive silences matching findings on its own line (trailing
+// comment) and on the line directly below it (standalone comment above
+// the offending statement or declaration). The justification is not
+// optional: a directive without one suppresses nothing and is itself
+// reported as a problem.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// Malformed marks a directive with no justification; it never
+	// suppresses.
+	Malformed bool
+
+	used bool
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// CollectSuppressions scans every file comment in the program.
+func CollectSuppressions(prog *Program) []*Suppression {
+	var out []*Suppression
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					s := &Suppression{
+						Pos:      prog.Fset.Position(c.Pos()),
+						Analyzer: name,
+						Reason:   strings.TrimSpace(reason),
+					}
+					if name == "" || s.Reason == "" {
+						s.Malformed = true
+					}
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// match returns the suppression covering d, if any.
+func match(sups []*Suppression, d Diagnostic) *Suppression {
+	for _, s := range sups {
+		if s.Malformed || s.Analyzer != d.Analyzer || s.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if s.Pos.Line == d.Pos.Line || s.Pos.Line == d.Pos.Line-1 {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+//lint:ignore a1/fake covered by the nightly integration run
+func a() {} // line 4: suppression above the finding
+
+func b() {} //lint:ignore a1/fake trailing directive on the finding line
+
+//lint:ignore a1/fake
+func c() {} // line 9: malformed, no justification
+
+//lint:ignore a1/other justified but matching a different analyzer
+func d() {} // line 12: wrong analyzer, must not suppress
+
+//lint:ignore a1/fake this matches nothing and is stale
+`
+
+// fakeAnalyzer reports one finding at every function declaration name.
+var fakeAnalyzer = &Analyzer{
+	Name: "a1/fake",
+	Doc:  "test analyzer",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "finding")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func suppressProg(t *testing.T) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Program{Fset: fset, Packages: []*Package{{Path: "p", Files: []*ast.File{f}}}}
+}
+
+func TestSuppressionMechanics(t *testing.T) {
+	res, err := Run(suppressProg(t), []*Analyzer{fakeAnalyzer}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a (line above) and b (same line) are suppressed; c and d are not —
+	// c's directive is malformed, d's names another analyzer.
+	if got := len(res.Suppressed); got != 2 {
+		t.Errorf("suppressed = %d findings, want 2: %v", got, res.Suppressed)
+	}
+	if got := len(res.Diagnostics); got != 2 {
+		t.Errorf("surviving diagnostics = %d, want 2 (c and d): %v", got, res.Diagnostics)
+	}
+
+	// Problems: the malformed directive, plus two stale ones (a1/other
+	// matches no finding of its analyzer; the trailing a1/fake at EOF
+	// matches nothing).
+	var malformed, stale int
+	for _, p := range res.Problems {
+		switch {
+		case strings.Contains(p.Message, "needs a written justification"):
+			malformed++
+		case strings.Contains(p.Message, "matched no finding"):
+			stale++
+		}
+	}
+	if malformed != 1 || stale != 2 {
+		t.Errorf("problems: malformed=%d stale=%d, want 1 and 2: %v", malformed, stale, res.Problems)
+	}
+}
+
+func TestUnusedNotCheckedForPartialRuns(t *testing.T) {
+	// With checkUnused=false (a -only run, or analysistest), stale
+	// directives are not problems — only malformed ones are.
+	res, err := Run(suppressProg(t), []*Analyzer{fakeAnalyzer}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Problems); got != 1 {
+		t.Errorf("problems = %d, want 1 (malformed only): %v", got, res.Problems)
+	}
+}

@@ -1,0 +1,230 @@
+// Package analysistest runs one analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against `// want "regexp"`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the stdlib-only shim in internal/lint/analysis.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go. A fixture
+// package may import other fixture packages (stub farm/fabric/core
+// layers with the real import paths) and any standard-library package;
+// stdlib imports resolve through gc export data via `go list -export`.
+//
+// Expectations attach to the line carrying the comment:
+//
+//	bad()        // want `part of the expected message`
+//	worse()      // want "first" "second"
+//
+// Every diagnostic must be matched by an expectation and vice versa.
+// //lint:ignore suppressions are applied before matching, so a
+// suppressed finding needs no want comment — which is how suppression
+// behavior itself is fixture-tested.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"a1/internal/lint/analysis"
+	"a1/internal/lint/load"
+)
+
+// Run loads the fixture packages named by pkgPaths from testdata/src,
+// runs a over them, and reports mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     load.NewExportImporter(fset, "."),
+		pkgs:    map[string]*analysis.Package{},
+	}
+	prog := &analysis.Program{Fset: fset}
+	for _, path := range pkgPaths {
+		pkg, err := ld.ensure(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+
+	res, err := analysis.Run(prog, []*analysis.Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, prog)
+	for _, d := range append(res.Diagnostics, res.Problems...) {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	var keys []posKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re.String())
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.used && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`)")
+
+func collectWants(t *testing.T, fset *token.FileSet, prog *analysis.Program) map[posKey][]*want {
+	t.Helper()
+	out := map[posKey][]*want{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, lit := range wantRe.FindAllString(text, -1) {
+						pat := lit
+						if strings.HasPrefix(lit, "\"") {
+							uq, err := strconv.Unquote(lit)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+							}
+							pat = uq
+						} else {
+							pat = strings.Trim(lit, "`")
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						key := posKey{pos.Filename, pos.Line}
+						out[key] = append(out[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fixtureLoader type-checks fixture packages recursively: imports that
+// exist under srcRoot resolve to other fixtures (checked first), the rest
+// fall back to gc export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*analysis.Package
+	loading []string
+}
+
+func (ld *fixtureLoader) ensure(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range ld.loading {
+		if p == path {
+			return nil, fmt.Errorf("fixture import cycle through %s", path)
+		}
+	}
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	// Check fixture-internal imports first so type-checking this package
+	// finds them in the cache.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if _, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(ipath))); err == nil {
+				if _, err := ld.ensure(ipath); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	tpkg, info, err := load.Check(path, ld.fset, files, &fixtureImporter{ld: ld})
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Files: files, Types: tpkg, TypesInfo: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type fixtureImporter struct {
+	ld *fixtureLoader
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.ld.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if _, err := os.Stat(filepath.Join(fi.ld.srcRoot, filepath.FromSlash(path))); err == nil {
+		pkg, err := fi.ld.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.ld.std.Import(path)
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"a1/internal/lint/analysis"
+)
+
+// BatchReads flags per-ID vertex fetches issued inside a loop over a
+// frontier/ID slice ([]core.VertexPtr, i.e. []farm.Ptr). Each such read
+// is a potential fabric round trip, so a loop of them pays the paper's
+// remote-access gap once per ID; frontiers must instead be partitioned by
+// owner (farm.PrimaryOf) and evaluated near the data in batched RPCs, the
+// way execLevel/execBatch do. Loops that are provably machine-local —
+// owner-side batch executors whose slice was already partitioned by the
+// caller — carry an inline suppression stating exactly that.
+var BatchReads = &analysis.Analyzer{
+	Name: "a1/batchreads",
+	Doc: "per-ID vertex reads in a loop over a frontier/ID slice must go through " +
+		"the batched owner-side read path",
+	Run: runBatchReads,
+}
+
+// per-ID read APIs: one or more fabric round trips per call.
+var coreVertexReads = map[string]bool{
+	"ReadVertex": true, "LookupVertex": true, "VertexPK": true,
+}
+var farmObjectReads = map[string]bool{
+	"Read": true, "ReadSized": true,
+}
+
+var batchReadsExempt = map[string]bool{
+	farmPath:          true,
+	fabricPath:        true,
+	"a1/internal/sim": true,
+	corePath:          true, // the implementation layer under the batch APIs
+}
+
+func runBatchReads(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	if batchReadsExempt[pkg.Path] {
+		return nil
+	}
+	info := pkg.TypesInfo
+	eachFunc(pkg, func(name string, decl ast.Node, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !rangesOverPtrSlice(info, rs) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(info, call)
+				if fn == nil {
+					return true
+				}
+				perID := false
+				switch funcPkgPath(fn) {
+				case corePath:
+					perID = coreVertexReads[fn.Name()]
+				case farmPath:
+					perID = farmObjectReads[fn.Name()]
+				}
+				if perID {
+					pass.Reportf(call.Pos(),
+						"per-ID %s inside a loop over %s: each call is a potential fabric "+
+							"round trip; partition the frontier by owner and ship a batched RPC "+
+							"(see execLevel/execBatch), or justify machine-locality",
+						fn.Name(), types.ExprString(rs.X))
+				}
+				return true
+			})
+			return true
+		})
+	})
+	return nil
+}
+
+// rangesOverPtrSlice reports whether rs iterates a []farm.Ptr (which
+// core.VertexPtr aliases).
+func rangesOverPtrSlice(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamedType(sl.Elem(), farmPath, "Ptr")
+}

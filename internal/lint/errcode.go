@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"a1/internal/lint/analysis"
+)
+
+// ErrCode enforces the transport contract from the structured-error work
+// (PR 2): every query.Error code the engine can construct must appear as
+// a case in the a1server HTTP status mapping, so new failure classes can
+// never regress to blanket 500s. The mapping is any switch on query.Code
+// inside a package main that imports net/http (cmd/a1server's
+// classifyError); the zero code (CodeInternal) is the deliberate default
+// → 500 class and is exempt. This is a whole-program check: run it over
+// ./... so both the constructions and the mapping are in view.
+var ErrCode = &analysis.Analyzer{
+	Name: "a1/errcode",
+	Doc: "every query.Error code constructed anywhere must be mapped to an HTTP " +
+		"status in the a1server switch",
+	RunProgram: runErrCode,
+}
+
+func runErrCode(pass *analysis.Pass) error {
+	type site struct {
+		pos  ast.Node
+		pkg  *analysis.Package
+		name string
+		val  int64
+	}
+	var constructed []site
+	mapped := map[int64]bool{}
+	sawSwitch := false
+
+	for _, pkg := range pass.Program.Packages {
+		info := pkg.TypesInfo
+		isHTTPMain := pkg.Types.Name() == "main" && importsPath(pkg.Types, "net/http")
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CompositeLit:
+					tv, ok := info.Types[x]
+					if !ok || !isNamedType(tv.Type, queryPath, "Error") {
+						return true
+					}
+					for _, elt := range x.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok || key.Name != "Code" {
+							continue
+						}
+						cv := info.Types[kv.Value].Value
+						if cv == nil {
+							continue // non-constant code: not statically checkable
+						}
+						v, ok := constant.Int64Val(cv)
+						if !ok {
+							continue
+						}
+						constructed = append(constructed, site{
+							pos: kv.Value, pkg: pkg,
+							name: types.ExprString(kv.Value), val: v,
+						})
+					}
+				case *ast.SwitchStmt:
+					if !isHTTPMain || x.Tag == nil {
+						return true
+					}
+					tv, ok := info.Types[x.Tag]
+					if !ok || !isNamedType(tv.Type, queryPath, "Code") {
+						return true
+					}
+					sawSwitch = true
+					for _, stmt := range x.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if cv := info.Types[e].Value; cv != nil {
+								if v, ok := constant.Int64Val(cv); ok {
+									mapped[v] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if !sawSwitch {
+		// The HTTP mapping is not in view (partial package set); there is
+		// nothing sound to check against.
+		return nil
+	}
+	for _, s := range constructed {
+		if s.val == 0 || mapped[s.val] {
+			continue // zero code is the deliberate blanket-500 default
+		}
+		pass.Reportf(s.pos.Pos(),
+			"query.Error code %s is constructed here but has no case in the a1server "+
+				"HTTP status mapping: clients would see a blanket 500; add a case in "+
+				"classifyError",
+			s.name)
+	}
+	return nil
+}
+
+// importsPath reports whether pkg (directly) imports the given path.
+func importsPath(pkg *types.Package, path string) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"a1/internal/lint"
+	"a1/internal/lint/analysistest"
+)
+
+// The fixtures type-check against real standard-library export data via
+// `go list`, so they need the go tool on PATH (always true in CI and on
+// dev machines; guarded for exotic environments).
+func needGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH; fixtures need stdlib export data")
+	}
+}
+
+func TestStatsHook(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/statshook", lint.StatsHook, "a1/internal/core")
+}
+
+func TestMapOrder(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/maporder", lint.MapOrder,
+		"a1/internal/query", "a1/internal/other")
+}
+
+func TestLockFabric(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/lockfabric", lint.LockFabric,
+		"a1/internal/router", "a1/internal/sim")
+}
+
+func TestBatchReads(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/batchreads", lint.BatchReads, "a1/internal/exec")
+}
+
+func TestErrCode(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/errcode", lint.ErrCode,
+		"a1/internal/query", "a1/cmd/a1server")
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"a1/maporder", "maporder"} {
+		as, ok := lint.ByName([]string{name})
+		if !ok || len(as) != 1 || as[0] != lint.MapOrder {
+			t.Fatalf("ByName(%q) = %v, %v", name, as, ok)
+		}
+	}
+	if _, ok := lint.ByName([]string{"nonsense"}); ok {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+}

@@ -1,0 +1,177 @@
+// Package load type-checks module packages for analysis without any
+// dependency outside the standard library.
+//
+// It shells out to `go list -export -json -deps`, which compiles (or
+// reuses from the build cache) gc export data for every dependency, then
+// parses and type-checks the requested packages from source with an
+// importer that resolves all imports from that export data — the same
+// two-layer scheme golang.org/x/tools/go/packages uses internally.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"a1/internal/lint/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in module directory dir and returns the matched
+// packages parsed and type-checked, ready for analysis.
+func Load(dir string, patterns []string) (*analysis.Program, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			pc := p
+			targets = append(targets, &pc)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, dir, exports)
+	prog := &analysis.Program{Fset: fset}
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		prog.Packages = append(prog.Packages, &analysis.Package{
+			Path:      t.ImportPath,
+			Files:     files,
+			Types:     pkg,
+			TypesInfo: info,
+		})
+	}
+	return prog, nil
+}
+
+// Check type-checks one package's parsed files with full object and
+// selection resolution recorded.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// exportImporter resolves imports from gc export data, looking paths up
+// lazily via `go list -export` when the preloaded table misses.
+type exportImporter struct {
+	dir     string
+	mu      sync.Mutex
+	exports map[string]string
+	gc      types.ImporterFrom
+}
+
+// NewExportImporter returns an importer that resolves every import path
+// from gc export data, consulting `go list -export` run in dir. The
+// fixture loader in analysistest layers its own source packages on top.
+func NewExportImporter(fset *token.FileSet, dir string) types.Importer {
+	return newExportImporter(fset, dir, map[string]string{})
+}
+
+func newExportImporter(fset *token.FileSet, dir string, exports map[string]string) *exportImporter {
+	ei := &exportImporter{dir: dir, exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", ei.lookup).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, ei.dir, 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.ImportFrom(path, srcDir, mode)
+}
+
+func (ei *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	ei.mu.Lock()
+	exp, ok := ei.exports[path]
+	ei.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = ei.dir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("locating export data for %q: %v", path, err)
+		}
+		exp = strings.TrimSpace(string(out))
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		ei.mu.Lock()
+		ei.exports[path] = exp
+		ei.mu.Unlock()
+	}
+	return os.Open(exp)
+}

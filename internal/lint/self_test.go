@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"a1/internal/lint"
+	"a1/internal/lint/analysis"
+	"a1/internal/lint/load"
+)
+
+// TestTreeIsClean runs the full suite over the real module, exactly as
+// cmd/a1lint does in CI: the tree must carry zero unsuppressed findings
+// and zero suppression problems (malformed or stale ignores) at all
+// times. This makes the lint contracts part of tier-1 `go test ./...`,
+// not just a separate CI step.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	needGo(t)
+	prog, err := load.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res, err := analysis.Run(prog, lint.All(), true)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	for _, d := range res.Problems {
+		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"a1/internal/lint/analysis"
+)
+
+// StatsHook enforces the live-statistics contract from the cost-based
+// planner work (PR 4): every exported function in internal/core that
+// mutates vertex/edge/index state must reach a stats commit hook
+// (statsVertexAdded/Removed/Updated, statsEdgeAdded/Removed, or a
+// stats.Local delta method) somewhere on its call path, so committed
+// mutations always feed the tracker and the planner's estimates never
+// silently rot. Catalog/schema-plane mutations that the statistics
+// subsystem deliberately ignores are suppressed inline with a rationale.
+var StatsHook = &analysis.Analyzer{
+	Name: "a1/statshook",
+	Doc: "exported internal/core functions that mutate vertex/edge/index state " +
+		"must reach a stats commit hook on the non-abort path",
+	Run: runStatsHook,
+}
+
+const (
+	corePath   = "a1/internal/core"
+	statsPath  = "a1/internal/stats"
+	farmPath   = "a1/internal/farm"
+	fabricPath = "a1/internal/fabric"
+	queryPath  = "a1/internal/query"
+	bondPath   = "a1/internal/bond"
+)
+
+// farm-layer calls that mutate state the statistics tracker covers:
+// vertex/edge objects and index entries. farm.CreateBTree is deliberately
+// absent — a freshly created tree holds no entries, so bootstrap paths
+// (Open, CreateGraph, CreateVertexType) change nothing the tracker
+// counts.
+var farmMutators = map[string]bool{
+	"Put":          true, // BTree.Put — index insert
+	"Delete":       true, // BTree.Delete — index remove
+	"Alloc":        true, // Tx.Alloc — new object
+	"AllocOn":      true, // Tx.AllocOn — placed new object
+	"Free":         true, // Tx.Free — object removal
+	"OpenForWrite": true, // Tx.OpenForWrite — in-place object update
+}
+
+// catalog-plane helpers: schema/metadata writes go through these, and the
+// statistics subsystem deliberately does not track catalog state (it
+// counts vertices, edges, and index entries, not type definitions). Call
+// edges into them are not followed, so catalog-only mutators don't flag.
+var coreCatalogPlane = map[string]bool{
+	"catPut":    true,
+	"catDelete": true,
+}
+
+// in-package stats commit hooks.
+var coreStatsHooks = map[string]bool{
+	"statsVertexAdded":   true,
+	"statsVertexRemoved": true,
+	"statsVertexUpdated": true,
+	"statsEdgeAdded":     true,
+	"statsEdgeRemoved":   true,
+}
+
+// stats.Local delta methods, accepted when called directly.
+var statsLocalHooks = map[string]bool{
+	"VertexAdded":       true,
+	"VertexRemoved":     true,
+	"FieldValueAdded":   true,
+	"FieldValueRemoved": true,
+	"EdgeAdded":         true,
+	"EdgeRemoved":       true,
+}
+
+func runStatsHook(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	if pkg.Path != corePath {
+		return nil
+	}
+	info := pkg.TypesInfo
+
+	type funcFacts struct {
+		decl    *ast.FuncDecl
+		mutates bool
+		reason  string // the farm primitive (or callee) that made it mutating
+		hooks   bool
+		callees map[*types.Func]bool
+	}
+	facts := map[*types.Func]*funcFacts{}
+	var order []*types.Func
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			ff := &funcFacts{decl: fd, callees: map[*types.Func]bool{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(info, call)
+				if callee == nil {
+					return true
+				}
+				switch funcPkgPath(callee) {
+				case farmPath:
+					if farmMutators[callee.Name()] && !ff.mutates {
+						ff.mutates = true
+						ff.reason = "farm." + callee.Name()
+					}
+				case statsPath:
+					if statsLocalHooks[callee.Name()] {
+						ff.hooks = true
+					}
+				case pkg.Path:
+					if coreStatsHooks[callee.Name()] {
+						ff.hooks = true
+					}
+					if !coreCatalogPlane[callee.Name()] {
+						ff.callees[callee] = true
+					}
+				}
+				return true
+			})
+			facts[obj] = ff
+			order = append(order, obj)
+		}
+	}
+
+	// Fixpoint: mutation flows up to callers, hook reachability flows up
+	// from callees — a function reaches a hook if anything it calls does.
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			ff := facts[obj]
+			for callee := range ff.callees {
+				cf, ok := facts[callee]
+				if !ok {
+					continue
+				}
+				if cf.mutates && !ff.mutates {
+					ff.mutates = true
+					ff.reason = "call to " + callee.Name() + " (" + cf.reason + ")"
+					changed = true
+				}
+				if cf.hooks && !ff.hooks {
+					ff.hooks = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, obj := range order {
+		ff := facts[obj]
+		if !ff.decl.Name.IsExported() || !ff.mutates || ff.hooks {
+			continue
+		}
+		pass.Reportf(ff.decl.Name.Pos(),
+			"%s mutates graph state (%s) but never reaches a stats commit hook; "+
+				"committed mutations must feed the planner's statistics (statsVertex*/statsEdge*) "+
+				"or the cost model silently rots",
+			ff.decl.Name.Name, ff.reason)
+	}
+	return nil
+}

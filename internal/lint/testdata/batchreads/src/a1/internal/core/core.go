@@ -1,0 +1,17 @@
+// Stub of the real a1/internal/core read surface. VertexPtr aliases
+// farm.Ptr exactly like the real package.
+package core
+
+import "a1/internal/farm"
+
+type VertexPtr = farm.Ptr
+
+type Vertex struct{}
+
+type Graph struct{}
+
+func (*Graph) ReadVertex(tx *farm.Tx, p VertexPtr) (*Vertex, error) { return nil, nil }
+func (*Graph) LookupVertex(tx *farm.Tx, id string) (*Vertex, error) { return nil, nil }
+func (*Graph) ReadVertices(tx *farm.Tx, ps []VertexPtr) ([]*Vertex, error) {
+	return nil, nil
+}

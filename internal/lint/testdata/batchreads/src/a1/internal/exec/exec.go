@@ -1,0 +1,71 @@
+// Fixture for a1/batchreads: per-ID vertex reads in a loop over a
+// frontier/ID slice must go through the batched read path.
+package exec
+
+import (
+	"a1/internal/core"
+	"a1/internal/farm"
+)
+
+// Bad: one core read per frontier entry.
+func Hydrate(g *core.Graph, tx *farm.Tx, frontier []core.VertexPtr) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	for _, vp := range frontier {
+		v, err := g.ReadVertex(tx, vp) // want `per-ID ReadVertex inside a loop over frontier`
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Bad: raw farm reads in a pointer loop are the same round-trip shape.
+func Sizes(tx *farm.Tx, ptrs []farm.Ptr) (int, error) {
+	n := 0
+	for _, p := range ptrs {
+		if _, err := tx.Read(p); err != nil { // want `per-ID Read inside a loop over ptrs`
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Good: the batched API takes the whole frontier at once.
+func HydrateBatched(g *core.Graph, tx *farm.Tx, frontier []core.VertexPtr) ([]*core.Vertex, error) {
+	return g.ReadVertices(tx, frontier)
+}
+
+// Good: a single read outside any loop.
+func One(g *core.Graph, tx *farm.Tx, vp core.VertexPtr) (*core.Vertex, error) {
+	return g.ReadVertex(tx, vp)
+}
+
+// Good: the loop is not over a []farm.Ptr, so the frontier heuristic does
+// not apply (LookupVertex by external ID has its own index path).
+func ByID(g *core.Graph, tx *farm.Tx, ids []string) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	for _, id := range ids {
+		v, err := g.LookupVertex(tx, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Suppressed: the sanctioned owner-side pattern, justified inline.
+func OwnerSide(g *core.Graph, tx *farm.Tx, local []core.VertexPtr) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	for _, vp := range local {
+		//lint:ignore a1/batchreads machine-local batch: the caller partitioned the frontier by owner
+		v, err := g.ReadVertex(tx, vp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+// Stub of the real a1/internal/farm surface.
+package farm
+
+type Addr uint64
+
+type Ptr struct {
+	Addr Addr
+	Size uint32
+}
+
+type ObjBuf struct{}
+
+type Tx struct{}
+
+func (*Tx) Read(p Ptr) (*ObjBuf, error)                { return nil, nil }
+func (*Tx) ReadSized(p Ptr, n uint32) (*ObjBuf, error) { return nil, nil }

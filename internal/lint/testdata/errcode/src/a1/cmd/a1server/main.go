@@ -1,0 +1,24 @@
+// Fixture HTTP front end: a package main importing net/http with a
+// switch over query.Code — the mapping a1/errcode checks constructions
+// against.
+package main
+
+import (
+	"net/http"
+
+	"a1/internal/query"
+)
+
+func classify(c query.Code) int {
+	switch c {
+	case query.CodeParse:
+		return http.StatusBadRequest
+	case query.CodeBadParam:
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func main() {
+	_ = classify(query.CodeParse)
+}

@@ -1,0 +1,43 @@
+// Fixture for a1/errcode: every query.Error code constructed anywhere
+// must appear in the a1server HTTP status mapping.
+package query
+
+import "errors"
+
+type Code int
+
+const (
+	CodeInternal Code = iota // zero value: the deliberate blanket-500 default
+	CodeParse
+	CodeBadParam
+	CodeLost
+	CodeExp
+)
+
+type Error struct {
+	Code Code
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Good: CodeParse has a case in the mapping switch.
+func Bad() error {
+	return &Error{Code: CodeParse, Err: errors.New("parse")}
+}
+
+// Bad: CodeLost is constructed but never mapped.
+func Gone() error {
+	return &Error{Code: CodeLost, Err: errors.New("lost")} // want `query.Error code CodeLost is constructed here but has no case`
+}
+
+// Good: the zero code is the deliberate default-to-500 class and exempt.
+func Oops() error {
+	return &Error{Code: CodeInternal, Err: errors.New("boom")}
+}
+
+// Suppressed: justified //lint:ignore, so no want comment here.
+func Experimental() error {
+	//lint:ignore a1/errcode experimental code surfaced over the admin socket only, never HTTP
+	return &Error{Code: CodeExp, Err: errors.New("exp")}
+}

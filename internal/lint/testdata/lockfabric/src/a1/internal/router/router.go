@@ -1,0 +1,85 @@
+// Fixture for a1/lockfabric: no fabric/farm remote call while a
+// machine-local mutex acquired in the same function is held.
+package router
+
+import (
+	"sync"
+
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+type Router struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	peers map[fabric.MachineID]bool
+}
+
+// Bad: RPC while mu is held.
+func (r *Router) Broadcast(c *fabric.Ctx) error {
+	r.mu.Lock()
+	err := c.RPC(1, 0, func(*fabric.Ctx) error { return nil }) // want `Broadcast calls RPC while holding r.mu`
+	r.mu.Unlock()
+	return err
+}
+
+// Good: the lock is released before the remote call.
+func (r *Router) Snapshot(c *fabric.Ctx) error {
+	r.mu.Lock()
+	n := len(r.peers)
+	r.mu.Unlock()
+	_, err := c.ReadRemote(1, n)
+	return err
+}
+
+// Bad: a deferred unlock keeps the lock held across the farm read.
+func (r *Router) Load(tx *farm.Tx, p farm.Ptr) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := tx.Read(p) // want `Load calls Read while holding r.mu`
+	return err
+}
+
+// Bad: read locks count too — RLock held across a fabric fan-out.
+func (r *Router) Fan(c *fabric.Ctx) {
+	r.rw.RLock()
+	c.Parallel(2, func(int, *fabric.Ctx) {}) // want `Fan calls Parallel while holding r.rw`
+	r.rw.RUnlock()
+}
+
+type Table struct {
+	sync.Mutex
+}
+
+// Bad: embedded mutex promotion is still a held lock.
+func (t *Table) Flush(tx *farm.Tx) error {
+	t.Lock()
+	err := tx.Commit() // want `Flush calls Commit while holding t`
+	t.Unlock()
+	return err
+}
+
+// Good: the closure is a separate unit; it runs after Capture returns and
+// the lock is gone by then.
+func (r *Router) Capture(c *fabric.Ctx) func() {
+	r.mu.Lock()
+	f := func() { _, _ = c.ReadRemote(1, 1) }
+	r.mu.Unlock()
+	return f
+}
+
+// Good: a deferred remote call runs after the body's lock scope.
+func (r *Router) Later(c *fabric.Ctx) {
+	r.mu.Lock()
+	defer c.Parallel(1, func(int, *fabric.Ctx) {})
+	r.mu.Unlock()
+}
+
+// Suppressed: justified //lint:ignore, so no want comment here.
+func (r *Router) Pinned(tx *farm.Tx, p farm.Ptr) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:ignore a1/lockfabric startup path before the fabric goes live; Read is loopback here
+	_, err := tx.Read(p)
+	return err
+}

@@ -1,0 +1,11 @@
+// Out-of-scope package: a1/maporder is scoped to internal/query and
+// internal/bond, so this identical violation must not be reported.
+package other
+
+func BuildRows(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

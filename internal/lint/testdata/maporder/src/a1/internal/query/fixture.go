@@ -1,0 +1,81 @@
+// Fixture for a1/maporder: map iteration order must not reach anything
+// output-visible in internal/query.
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Row struct {
+	Cols []string
+}
+
+// Bad: the appended slice is returned with no subsequent sort.
+func BuildRows(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `out is appended to in iteration order of map m`
+	}
+	return out
+}
+
+// Good: sorted after the loop, before anything escapes.
+func BuildSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Good: purely local worklist; only an order-independent aggregate escapes.
+func SumLens(m map[string]int) int {
+	var work []string
+	for k := range m {
+		work = append(work, k)
+	}
+	n := 0
+	for _, w := range work {
+		n += len(w)
+	}
+	return n
+}
+
+// Bad: which key the error names depends on iteration order.
+func FirstUnknown(m map[string]int, known map[string]bool) error {
+	for k := range m {
+		if !known[k] {
+			return fmt.Errorf("unknown key %q", k) // want `return inside iteration over map m uses loop variable k`
+		}
+	}
+	return nil
+}
+
+// Bad: appending to a struct field escapes the function by definition.
+func (r *Row) AddCols(m map[string]int) {
+	for k := range m {
+		r.Cols = append(r.Cols, k) // want `r.Cols is appended to in iteration order of map m`
+	}
+}
+
+// Good: map-to-map copies are order-insensitive.
+func Clone(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Suppressed: a valid //lint:ignore with a justification silences the
+// finding, so no want comment here.
+func Canonical(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore a1/maporder the single caller sorts entries before emission
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Stub of the real a1/internal/farm surface, just deep enough for the
+// statshook fixtures to type-check under the same import path.
+package farm
+
+type Addr uint64
+
+type Ptr struct {
+	Addr Addr
+	Size uint32
+}
+
+type ObjBuf struct{}
+
+type Tx struct{}
+
+func (*Tx) Alloc(size uint32) (*ObjBuf, error)              { return &ObjBuf{}, nil }
+func (*Tx) AllocOn(near Addr, size uint32) (*ObjBuf, error) { return &ObjBuf{}, nil }
+func (*Tx) Free(p Ptr) error                                { return nil }
+func (*Tx) OpenForWrite(p Ptr) (*ObjBuf, error)             { return &ObjBuf{}, nil }
+func (*Tx) CreateBTree() (*BTree, error)                    { return &BTree{}, nil }
+
+type BTree struct{}
+
+func (*BTree) Put(tx *Tx, k, v []byte) error              { return nil }
+func (*BTree) Delete(tx *Tx, k []byte) (bool, error)      { return false, nil }
+func (*BTree) Get(tx *Tx, k []byte) ([]byte, bool, error) { return nil, false, nil }

@@ -1,0 +1,9 @@
+// Stub of the real a1/internal/stats delta tracker.
+package stats
+
+type Local struct{}
+
+func (*Local) VertexAdded(typeID uint16)   {}
+func (*Local) VertexRemoved(typeID uint16) {}
+func (*Local) EdgeAdded(typeID uint16)     {}
+func (*Local) EdgeRemoved(typeID uint16)   {}

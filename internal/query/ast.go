@@ -431,12 +431,27 @@ func rejectShaping(ep *EdgePattern) error {
 
 const maxDepth = 16
 
+// sortedKeys returns a JSON object's keys in lexicographic order. Go
+// randomizes map iteration, so parsing in raw map order would make
+// predicate lists, plan structure, and "unknown key" errors vary run to
+// run for the same document (a1/maporder); every object walk in the
+// parser iterates these sorted keys instead.
+func sortedKeys(m map[string]interface{}) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
 func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, error) {
 	if depth > maxDepth {
 		return nil, errors.New("a1ql: traversal too deep")
 	}
 	vp := &VertexPattern{}
-	for k, v := range raw {
+	for _, k := range sortedKeys(raw) {
+		v := raw[k]
 		switch k {
 		case keyID:
 			s, ok := v.(string)
@@ -571,22 +586,22 @@ func parseMatchEntry(raw map[string]interface{}, depth int) (*EdgePattern, error
 	if len(raw) != 1 {
 		return nil, errors.New("a1ql: _match entry must contain exactly one edge pattern")
 	}
-	for k, v := range raw {
-		if k != keyOutEdge && k != keyInEdge {
-			return nil, fmt.Errorf("a1ql: _match entry key %q must be _out_edge or _in_edge", k)
-		}
-		em, ok := v.(map[string]interface{})
-		if !ok {
-			return nil, fmt.Errorf("a1ql: %s must be an object", k)
-		}
-		return parseEdgePattern(em, k == keyOutEdge, depth)
+	k := sortedKeys(raw)[0]
+	v := raw[k]
+	if k != keyOutEdge && k != keyInEdge {
+		return nil, fmt.Errorf("a1ql: _match entry key %q must be _out_edge or _in_edge", k)
 	}
-	return nil, errors.New("a1ql: empty _match entry")
+	em, ok := v.(map[string]interface{})
+	if !ok {
+		return nil, fmt.Errorf("a1ql: %s must be an object", k)
+	}
+	return parseEdgePattern(em, k == keyOutEdge, depth)
 }
 
 func parseEdgePattern(raw map[string]interface{}, out bool, depth int) (*EdgePattern, error) {
 	ep := &EdgePattern{Out: out}
-	for k, v := range raw {
+	for _, k := range sortedKeys(raw) {
+		v := raw[k]
 		switch k {
 		case keyType:
 			s, ok := v.(string)
@@ -754,7 +769,7 @@ func parseOrderKey(v interface{}) (OrderBy, error) {
 				return OrderBy{}, fmt.Errorf("a1ql: _orderby dir %v must be \"asc\" or \"desc\"", dir)
 			}
 		}
-		for k := range x {
+		for _, k := range sortedKeys(x) {
 			if k != "field" && k != "dir" {
 				return OrderBy{}, fmt.Errorf("a1ql: unknown _orderby key %q", k)
 			}
@@ -802,7 +817,8 @@ func parsePredicate(key string, v interface{}) ([]Predicate, error) {
 	}
 	if obj, ok := v.(map[string]interface{}); ok {
 		var preds []Predicate
-		for opName, constant := range obj {
+		for _, opName := range sortedKeys(obj) {
+			constant := obj[opName]
 			op, ok := opNames[opName]
 			if !ok {
 				return nil, fmt.Errorf("a1ql: unknown operator %q", opName)

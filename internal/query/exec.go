@@ -1406,6 +1406,7 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 		}
 		var vtx *core.Vertex
 		if needData {
+			//lint:ignore a1/batchreads machine-local batch: execLevel partitions the frontier by PrimaryOf and ships this loop to the owner (stragglers below ShipThreshold stay on the coordinator by the cost model's own choice)
 			v, err := g.ReadVertex(tx, vp)
 			if errors.Is(err, core.ErrNotFound) {
 				continue

@@ -2,6 +2,7 @@ package query
 
 import (
 	"encoding/json"
+	"sort"
 
 	"a1/internal/bond"
 )
@@ -58,15 +59,19 @@ func (q *Query) Bind(params Params) (*Query, error) {
 		}
 		return q, nil
 	}
+	// Validate in sorted name order so the reported offender (bad value or
+	// unknown parameter) is the same on every run (a1/maporder).
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	vals := make(map[string]bond.Value, len(params))
-	for name, v := range params {
-		bv, err := bondParam(name, v)
+	for _, name := range names {
+		bv, err := bondParam(name, params[name])
 		if err != nil {
 			return nil, err
 		}
-		vals[name] = bv
-	}
-	for name := range vals {
 		known := false
 		for _, n := range q.ParamNames {
 			if n == name {
@@ -77,6 +82,7 @@ func (q *Query) Bind(params Params) (*Query, error) {
 		if !known {
 			return nil, paramError("unknown parameter $%s", name)
 		}
+		vals[name] = bv
 	}
 	b := binder{vals: vals}
 	root, err := b.vertex(q.Root)

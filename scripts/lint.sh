@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Local entrypoint for the project lint suite, mirroring the CI lint job:
+# build cmd/a1lint from the working tree and run every analyzer over the
+# whole module. Run from the repo root. Any unsuppressed finding — or a
+# malformed/stale //lint:ignore — exits nonzero, exactly as in CI.
+#
+# Pass extra arguments through to a1lint, e.g.:
+#   ./scripts/lint.sh -only maporder ./internal/query
+#   ./scripts/lint.sh -v            # also list suppressed findings
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/a1lint "$@"
