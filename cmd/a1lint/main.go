@@ -2,16 +2,20 @@
 // project-specific analyzers (internal/lint): the distributed-correctness
 // contracts — stats commit hooks on write paths, deterministic map
 // handling in output paths, no machine-local lock spanning a fabric round
-// trip, batched frontier reads, and HTTP-mapped error codes — enforced as
-// build failures.
+// trip, one global lock-acquisition order, batched frontier reads,
+// cursors and transactions released on every path, and HTTP-mapped error
+// codes — enforced as build failures.
 //
 // Usage:
 //
-//	a1lint [-only name,...] [-list] [packages]
+//	a1lint [-only name,...] [-list] [-json file] [packages]
 //
 // Packages default to ./... relative to the current directory. Findings
 // print as file:line:col: message (analyzer) and make the exit status
-// non-zero. Suppress an individual finding with
+// non-zero. -json additionally writes every finding — including
+// suppressed ones, marked as such — as a JSON array to the given file
+// ("-" for stdout), for CI artifacts and tooling; a clean run writes an
+// empty array. Suppress an individual finding with
 //
 //	//lint:ignore a1/<analyzer> <written justification>
 //
@@ -26,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +46,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	verbose := flag.Bool("v", false, "also print suppressed findings with their justifications")
+	jsonOut := flag.String("json", "", "write findings (including suppressed) as JSON to this file; \"-\" for stdout")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -51,7 +57,11 @@ func main() {
 		return
 	}
 	if *only != "" {
-		sel, ok := lint.ByName(strings.Split(*only, ","))
+		names := strings.Split(*only, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		sel, ok := lint.ByName(names)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "a1lint: unknown analyzer in -only=%s (try -list)\n", *only)
 			os.Exit(2)
@@ -87,10 +97,58 @@ func main() {
 			fmt.Printf("%s: suppressed: %s (%s)\n", relPos(cwd, d), d.Message, d.Analyzer)
 		}
 	}
+	// The JSON artifact is written before the exit status is decided so a
+	// failing CI run still uploads its findings.
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, cwd, res); err != nil {
+			fmt.Fprintf(os.Stderr, "a1lint: writing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+	}
 	if n := len(res.Diagnostics) + len(res.Problems); n > 0 {
 		fmt.Fprintf(os.Stderr, "a1lint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is one machine-readable finding. Suppressed findings are
+// included and flagged, so the artifact records sanctioned sites too.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func writeJSON(path, cwd string, res *analysis.Result) error {
+	findings := []jsonFinding{} // non-nil: a clean run is an empty array
+	add := func(ds []analysis.Diagnostic, suppressed bool) {
+		for _, d := range ds {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			findings = append(findings, jsonFinding{
+				File: name, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message, Suppressed: suppressed,
+			})
+		}
+	}
+	add(res.Diagnostics, false)
+	add(res.Problems, false)
+	add(res.Suppressed, true)
+	out, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func relPos(cwd string, d analysis.Diagnostic) string {

@@ -35,6 +35,40 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package // sorted by Path
+
+	callGraph *CallGraph // built lazily by CallGraph()
+}
+
+// DependencyOrder returns the program's packages with every package
+// after all packages it imports (ties broken by path), so facts exported
+// while analyzing a dependency are importable by its dependents.
+func (prog *Program) DependencyOrder() []*Package {
+	byPath := make(map[string]*Package, len(prog.Packages))
+	for _, pkg := range prog.Packages {
+		byPath[pkg.Path] = pkg
+	}
+	state := map[*Package]int{} // 0 unvisited, 1 visiting, 2 done
+	out := make([]*Package, 0, len(prog.Packages))
+	var visit func(*Package)
+	visit = func(pkg *Package) {
+		if state[pkg] != 0 {
+			return // done, or a cycle (impossible for valid Go) — skip
+		}
+		state[pkg] = 1
+		if pkg.Types != nil {
+			for _, imp := range pkg.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[pkg] = 2
+		out = append(out, pkg)
+	}
+	for _, pkg := range prog.Packages { // Packages is sorted by path
+		visit(pkg)
+	}
+	return out
 }
 
 // Pass carries one analyzer's view of one package (or, for program-level
@@ -48,6 +82,7 @@ type Pass struct {
 	Program *Program
 
 	diags *[]Diagnostic
+	facts *factSet // shared across every pass of one analyzer's run
 }
 
 // Reportf records a diagnostic at pos.
@@ -55,6 +90,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Program.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a diagnostic at an already-resolved position, for
+// analyzers that aggregate many sites before deciding where to anchor
+// one finding.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -101,19 +147,24 @@ type Result struct {
 // loudly.
 func Run(prog *Program, analyzers []*Analyzer, checkUnused bool) (*Result, error) {
 	var raw []Diagnostic
+	depOrder := prog.DependencyOrder()
 	for _, a := range analyzers {
 		if (a.Run == nil) == (a.RunProgram == nil) {
 			return nil, fmt.Errorf("analyzer %s: exactly one of Run or RunProgram must be set", a.Name)
 		}
+		// One fact namespace per analyzer run, shared by all its passes.
+		facts := factSet{}
 		if a.RunProgram != nil {
-			pass := &Pass{Analyzer: a, Program: prog, diags: &raw}
+			pass := &Pass{Analyzer: a, Program: prog, diags: &raw, facts: &facts}
 			if err := a.RunProgram(pass); err != nil {
 				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
 			continue
 		}
-		for _, pkg := range prog.Packages {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Program: prog, diags: &raw}
+		// Packages run in dependency order so facts exported while
+		// analyzing a dependency are visible to its dependents' passes.
+		for _, pkg := range depOrder {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Program: prog, diags: &raw, facts: &facts}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s (%s): %w", a.Name, pkg.Path, err)
 			}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a module-wide static call graph over the type-checked
+// program: one node per function or method declared with a body in any
+// analyzed package, one edge per call site whose callee resolves
+// statically. Method calls are resolved by receiver type through the
+// type-checker's use information; calls through an interface method are
+// additionally fanned out to every concrete method in the program whose
+// receiver type implements the interface (edges marked Abstract).
+// Calls of function-typed values and builtins have no edge.
+//
+// Function literals are attributed to their enclosing declaration: a
+// call made inside a closure appears as an edge from the declaring
+// function, which is the conservative reading for "may perform" facts
+// (the closure may run while the caller's state — locks, transactions —
+// is live).
+type CallGraph struct {
+	// Nodes maps each declared function to its node.
+	Nodes map[*types.Func]*CallNode
+	// order holds nodes in construction order (sorted packages, file
+	// order, declaration order) so every traversal is deterministic.
+	order []*CallNode
+}
+
+// CallNode is one declared function or method.
+type CallNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out lists call edges in source order.
+	Out []*CallEdge
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Caller *CallNode
+	// Callee is the invoked function; it has a node in the graph only
+	// when it is declared in an analyzed package.
+	Callee *types.Func
+	// Site is the call expression, for diagnostics.
+	Site *ast.CallExpr
+	// Abstract marks an edge recovered from an interface method call by
+	// searching the program for implementations: the call may not reach
+	// this callee at runtime, but soundly might.
+	Abstract bool
+}
+
+// StaticCallee resolves a call expression to the *types.Func it invokes
+// (function, method, or qualified identifier); nil for builtins, calls
+// of function-typed variables, and conversions.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.callGraph == nil {
+		prog.callGraph = buildCallGraph(prog)
+	}
+	return prog.callGraph
+}
+
+// Functions returns every node in deterministic (construction) order.
+func (g *CallGraph) Functions() []*CallNode { return g.order }
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+
+	// Nodes: every declared function with a body, in deterministic order.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &CallNode{Func: obj, Decl: fd, Pkg: pkg}
+				g.Nodes[obj] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+
+	// Named types in the program, for interface-call fan-out.
+	var named []*types.Named
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				named = append(named, n)
+			}
+		}
+	}
+
+	// Edges.
+	for _, n := range g.order {
+		info := n.Pkg.TypesInfo
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			if recv := recvOf(callee); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface method: fan out to every program type that
+				// implements it.
+				iface, _ := recv.Type().Underlying().(*types.Interface)
+				if iface != nil {
+					for _, impl := range implementations(named, iface, callee.Name()) {
+						n.Out = append(n.Out, &CallEdge{Caller: n, Callee: impl, Site: call, Abstract: true})
+					}
+				}
+				return true
+			}
+			n.Out = append(n.Out, &CallEdge{Caller: n, Callee: callee, Site: call})
+			return true
+		})
+	}
+	return g
+}
+
+func recvOf(fn *types.Func) *types.Var {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// implementations returns the concrete methods named name on program
+// types satisfying iface, in the deterministic order of named.
+func implementations(named []*types.Named, iface *types.Interface, name string) []*types.Func {
+	var out []*types.Func
+	for _, n := range named {
+		if types.IsInterface(n.Underlying()) {
+			continue
+		}
+		pt := types.NewPointer(n)
+		if !types.Implements(pt, iface) && !types.Implements(n, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(pt, true, iface.Method(0).Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SCCs condenses the call graph into strongly connected components and
+// returns them callees-first: every component is emitted after all
+// components it calls into, so bottom-up summary propagation can process
+// the slice in order. Mutually recursive functions share a component.
+func (g *CallGraph) SCCs() [][]*CallNode {
+	// Tarjan's algorithm, iterative over the deterministic node order.
+	index := map[*CallNode]int{}
+	low := map[*CallNode]int{}
+	onStack := map[*CallNode]bool{}
+	var stack []*CallNode
+	var sccs [][]*CallNode
+	next := 0
+
+	type frame struct {
+		n    *CallNode
+		edge int
+	}
+	var visit func(root *CallNode)
+	visit = func(root *CallNode) {
+		frames := []frame{{n: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.edge < len(f.n.Out) {
+				e := f.n.Out[f.edge]
+				f.edge++
+				w := g.Nodes[e.Callee]
+				if w == nil {
+					continue // external callee: no node, no SCC membership
+				}
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{n: w})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[f.n] {
+					low[f.n] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.n is finished.
+			if low[f.n] == index[f.n] {
+				var comp []*CallNode
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.n {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].n
+				if low[f.n] < low[p] {
+					low[p] = low[f.n]
+				}
+			}
+		}
+	}
+	for _, n := range g.order {
+		if _, seen := index[n]; !seen {
+			visit(n)
+		}
+	}
+	return sccs
+}

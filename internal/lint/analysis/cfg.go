@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CFG is a lightweight control-flow graph over one function body, built
+// for path-sensitive checks (does every path from an acquisition reach a
+// release?). Blocks hold simple statements and control expressions in
+// execution order; compound statements never appear as block nodes —
+// only their pieces do — so scanning a block's Nodes never double-visits
+// nested code.
+//
+// Successor order is meaningful for conditionals: when a block ends with
+// the condition expression of an if or a for (or the subject of a
+// range), Succs[0] is the true/body branch and Succs[1] the
+// false/fall-through branch. Switch and select blocks fan out to one
+// successor per clause in source order.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry block
+	// Exit is the single synthetic exit block: returns, panics, and
+	// falling off the end all flow here.
+	Exit *Block
+}
+
+// Block is a basic block.
+type Block struct {
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order: assignments, expression statements, defer/go
+	// statements, return statements, and — as a block's final node —
+	// if/for conditions, range subjects, switch tags, and case-clause
+	// expression lists.
+	Nodes []ast.Node
+	Succs []*Block
+	// Panics marks a block terminated by a call to panic: its edge to
+	// Exit is a crash path, which lifecycle checks may treat differently
+	// from a normal return (deferred releases still run, direct ones
+	// never will).
+	Panics bool
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block
+	info *types.Info // optional; enables panic detection
+	// loops and switches push a frame: break/continue resolve against
+	// the innermost frame, or by label.
+	frames []cfgFrame
+	labels map[string]*Block // goto targets
+	gotos  map[string][]*Block
+}
+
+type cfgFrame struct {
+	label    string
+	brk      *Block // nil for frames that don't catch break (none today)
+	cont     *Block // nil for switch/select frames
+	isSwitch bool
+}
+
+// BuildCFG constructs the CFG of one function body. info may be nil;
+// when set, calls to the panic builtin terminate their block as a crash
+// path.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	b.cur = entry
+	b.stmtList(body.List)
+	b.edge(b.cur, exit) // fall off the end
+	// Resolve forward gotos.
+	for label, srcs := range b.gotos {
+		dst := b.labels[label]
+		if dst == nil {
+			dst = exit // unresolved (malformed source); fail safe
+		}
+		for _, src := range srcs {
+			b.edge(src, dst)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startDead replaces the current block with a fresh unreachable one
+// (code after return/break/goto).
+func (b *cfgBuilder) startDead() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+
+	case *ast.LabeledStmt:
+		// Land the label on a fresh block so gotos and labeled
+		// break/continue have a target.
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[x.Label.Name] = target
+		b.stmt(x.Stmt, x.Label.Name)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		b.cur.Nodes = append(b.cur.Nodes, x.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(x.Body.List)
+		b.edge(b.cur, after)
+		if x.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(x.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		body := b.newBlock()
+		if x.Cond != nil {
+			head.Nodes = append(head.Nodes, x.Cond)
+			b.edge(head, body)
+			b.edge(head, after)
+		} else {
+			b.edge(head, body)
+		}
+		cont := head
+		if x.Post != nil {
+			post := b.newBlock()
+			cont = post
+			b.cur = post
+			b.stmt(x.Post, "")
+			b.edge(post, head)
+		}
+		b.pushFrame(cfgFrame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(x.Body.List)
+		b.edge(b.cur, cont)
+		b.popFrame()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// Only the ranged subject is a node: the body is its own blocks.
+		head.Nodes = append(head.Nodes, x.X)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushFrame(cfgFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(x.Body.List)
+		b.edge(b.cur, head)
+		b.popFrame()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		if x.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, x.Tag)
+		}
+		b.caseClauses(x.Body.List, label, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			var nodes []ast.Node
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		b.cur.Nodes = append(b.cur.Nodes, x.Assign)
+		b.caseClauses(x.Body.List, label, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			var nodes []ast.Node
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		sel := b.cur
+		after := b.newBlock()
+		b.pushFrame(cfgFrame{label: label, brk: after, isSwitch: true})
+		for _, clause := range x.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(sel, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		// A select with no default blocks until a case fires; every path
+		// still goes through some clause, so no direct sel→after edge.
+		b.popFrame()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, x)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startDead()
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.BREAK:
+			if t := b.findFrame(x.Label, true); t != nil && t.brk != nil {
+				b.edge(b.cur, t.brk)
+			} else {
+				b.edge(b.cur, b.cfg.Exit)
+			}
+			b.startDead()
+		case token.CONTINUE:
+			if t := b.findFrame(x.Label, false); t != nil && t.cont != nil {
+				b.edge(b.cur, t.cont)
+			} else {
+				b.edge(b.cur, b.cfg.Exit)
+			}
+			b.startDead()
+		case token.GOTO:
+			if x.Label != nil {
+				if dst, ok := b.labels[x.Label.Name]; ok {
+					b.edge(b.cur, dst)
+				} else {
+					b.gotos[x.Label.Name] = append(b.gotos[x.Label.Name], b.cur)
+				}
+			}
+			b.startDead()
+		case token.FALLTHROUGH:
+			// Handled by caseClauses via clause ordering; the edge to the
+			// next clause body is added there. Nothing to do here.
+		}
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, x)
+		if b.isPanic(x.X) {
+			b.cur.Panics = true
+			b.edge(b.cur, b.cfg.Exit)
+			b.startDead()
+		}
+
+	default:
+		// Assignments, declarations, defer/go, send, inc/dec, empty.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch shape: the current
+// block fans out to one block per clause; a missing default adds a
+// direct edge to after; fallthrough chains clause bodies.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, split func(*ast.CaseClause) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.cur
+	after := b.newBlock()
+	b.pushFrame(cfgFrame{label: label, brk: after, isSwitch: true})
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	ends := make([]*Block, len(clauses))
+	falls := make([]bool, len(clauses))
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		nodes, body, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		blk.Nodes = append(blk.Nodes, nodes...)
+		b.cur = blk
+		bodies[i] = blk
+		b.stmtList(body)
+		ends[i] = b.cur
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls[i] = true
+			}
+		}
+	}
+	for i := range clauses {
+		if falls[i] && i+1 < len(clauses) {
+			b.edge(ends[i], bodies[i+1])
+		} else {
+			b.edge(ends[i], after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushFrame(f cfgFrame) { b.frames = append(b.frames, f) }
+func (b *cfgBuilder) popFrame()            { b.frames = b.frames[:len(b.frames)-1] }
+
+// findFrame resolves break/continue: labeled forms match the frame with
+// that label; unlabeled break matches the innermost frame, unlabeled
+// continue the innermost loop frame.
+func (b *cfgBuilder) findFrame(label *ast.Ident, isBreak bool) *cfgFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if label != nil {
+			if f.label == label.Name {
+				return f
+			}
+			continue
+		}
+		if !isBreak && f.isSwitch {
+			continue // continue skips switch/select frames
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *cfgBuilder) isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info == nil {
+		return true
+	}
+	_, isBuiltin := b.info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses a single function body and builds its CFG (no type
+// info: panic detection falls back to the identifier name).
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body, nil)
+}
+
+// reach returns the set of blocks reachable from the entry block.
+func reach(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Blocks[0])
+	return seen
+}
+
+// paths enumerates all acyclic entry→exit block paths (test-sized CFGs).
+func paths(cfg *CFG) [][]*Block {
+	var out [][]*Block
+	var walk func(b *Block, trail []*Block)
+	walk = func(b *Block, trail []*Block) {
+		for _, p := range trail {
+			if p == b {
+				return
+			}
+		}
+		trail = append(trail, b)
+		if b == cfg.Exit {
+			out = append(out, append([]*Block(nil), trail...))
+			return
+		}
+		for _, s := range b.Succs {
+			walk(s, trail)
+		}
+	}
+	walk(cfg.Blocks[0], nil)
+	return out
+}
+
+// hasStmtContaining reports whether any node on the path's blocks has
+// source text containing substr (via the position-less printer is
+// overkill; match on ast.Ident names and call shapes instead).
+func pathMentions(path []*Block, substr string) bool {
+	for _, b := range path {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(c ast.Node) bool {
+				if id, ok := c.(*ast.Ident); ok && strings.Contains(id.Name, substr) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	x := 1
+	if x > 0 {
+		a()
+	} else {
+		b()
+	}
+	c()`)
+	ps := paths(cfg)
+	if len(ps) != 2 {
+		t.Fatalf("if/else: %d paths, want 2", len(ps))
+	}
+	sawA, sawB := false, false
+	for _, p := range ps {
+		if pathMentions(p, "a") {
+			sawA = true
+			if pathMentions(p, "b") {
+				t.Error("one path goes through both branches")
+			}
+		}
+		if pathMentions(p, "b") {
+			sawB = true
+		}
+		if !pathMentions(p, "c") {
+			t.Error("a path skips the join statement")
+		}
+	}
+	if !sawA || !sawB {
+		t.Error("branches not both represented")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	if cond() {
+		a()
+	}
+	b()`)
+	if n := len(paths(cfg)); n != 2 {
+		t.Fatalf("if: %d paths, want 2 (through and around)", n)
+	}
+	// Successor convention: true branch first.
+	var condBlock *Block
+	for _, b := range cfg.Blocks {
+		for _, nd := range b.Nodes {
+			if call, ok := nd.(ast.Expr); ok {
+				if c, ok := call.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "cond" {
+						condBlock = b
+					}
+				}
+			}
+		}
+	}
+	if condBlock == nil || len(condBlock.Succs) != 2 {
+		t.Fatalf("condition block malformed: %+v", condBlock)
+	}
+	if !blockMentions(condBlock.Succs[0], "a") {
+		t.Error("Succs[0] of a condition is not the true branch")
+	}
+}
+
+func blockMentions(b *Block, name string) bool {
+	return pathMentions([]*Block{b}, name)
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	if bad() {
+		return
+	}
+	work()`)
+	ps := paths(cfg)
+	if len(ps) != 2 {
+		t.Fatalf("%d paths, want 2", len(ps))
+	}
+	for _, p := range ps {
+		last := p[len(p)-2] // block before exit
+		if pathMentions(p, "work") == blockHasReturn(last) {
+			t.Error("return path and work path not disjoint")
+		}
+	}
+}
+
+func blockHasReturn(b *Block) bool {
+	for _, n := range b.Nodes {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	for i := 0; i < n; i++ {
+		if skip() {
+			continue
+		}
+		if stop() {
+			break
+		}
+		body()
+	}
+	after()`)
+	seen := reach(cfg)
+	if !seen[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The loop head must have a back-edge pointing at it.
+	backEdge := false
+	for b := range seen {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != cfg.Exit {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("no back-edge in a for loop")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	for _, v := range items {
+		use(v)
+	}
+	done()`)
+	// The only acyclic path is the zero-iteration one (the body loops
+	// back through the head); it must pass the statement after the loop.
+	ps := paths(cfg)
+	if len(ps) != 1 || !pathMentions(ps[0], "done") {
+		t.Fatalf("range: acyclic paths %d, want exactly the zero-iteration path through done()", len(ps))
+	}
+	// Head convention: Succs[0] is the body, Succs[1] the after block,
+	// and the body has a back-edge to the head.
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if blockMentions(b, "items") {
+			head = b
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("range head malformed: %+v", head)
+	}
+	body := head.Succs[0]
+	if !blockMentions(body, "use") {
+		t.Error("Succs[0] of a range head is not the body")
+	}
+	back := false
+	for _, s := range body.Succs {
+		if s == head {
+			back = true
+		}
+	}
+	if !back {
+		t.Error("range body has no back-edge to the head")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	after()`)
+	ps := paths(cfg)
+	// case1→fallthrough→case2, case2, default = 3 paths.
+	if len(ps) != 3 {
+		t.Fatalf("switch: %d paths, want 3", len(ps))
+	}
+	foundFall := false
+	for _, p := range ps {
+		if pathMentions(p, "a") && pathMentions(p, "b") {
+			foundFall = true
+		}
+	}
+	if !foundFall {
+		t.Error("fallthrough edge missing: no path through both a() and b()")
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	switch x {
+	case 1:
+		a()
+	}
+	after()`)
+	if n := len(paths(cfg)); n != 2 {
+		t.Fatalf("switch without default: %d paths, want 2 (case and skip)", n)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	case out <- x:
+		b()
+	}
+	after()`)
+	if n := len(paths(cfg)); n != 2 {
+		t.Fatalf("select: %d paths, want 2 (one per clause)", n)
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	if bad() {
+		panic("boom")
+	}
+	work()`)
+	ps := paths(cfg)
+	if len(ps) != 2 {
+		t.Fatalf("%d paths, want 2", len(ps))
+	}
+	sawPanic := false
+	for _, p := range ps {
+		pan := p[len(p)-2].Panics
+		if pan {
+			sawPanic = true
+			if pathMentions(p, "work") {
+				t.Error("panic path continues to work()")
+			}
+		}
+	}
+	if !sawPanic {
+		t.Error("no block marked Panics")
+	}
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	defer close()
+	work()`)
+	entry := cfg.Blocks[0]
+	foundDefer := false
+	for _, n := range entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			foundDefer = true
+		}
+	}
+	if !foundDefer {
+		t.Error("defer statement not recorded as an ordinary block node")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildFromSrc(t, `
+outer:
+	for {
+		for {
+			if done() {
+				break outer
+			}
+		}
+	}
+	after()`)
+	seen := reach(cfg)
+	if !seen[cfg.Exit] {
+		t.Fatal("labeled break does not reach the statement after the outer loop")
+	}
+	// after() must be reachable (the labeled break jumps past both loops).
+	foundAfter := false
+	for b := range seen {
+		if blockMentions(b, "after") {
+			foundAfter = true
+		}
+	}
+	if !foundAfter {
+		t.Error("after() unreachable through labeled break")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	done()`)
+	seen := reach(cfg)
+	if !seen[cfg.Exit] {
+		t.Fatal("goto CFG does not reach exit")
+	}
+	backEdge := false
+	for b := range seen {
+		for _, s := range b.Succs {
+			if s.Index < b.Index && s != cfg.Exit {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("goto back-edge missing")
+	}
+}

@@ -1,0 +1,73 @@
+// Facts: per-object summaries analyzers compute bottom-up over the call
+// graph and consume across package boundaries, mirroring the x/tools
+// analysis facts vocabulary. A fact states something durable about a
+// types.Object — "this function acquires lock L", "this function
+// performs a fabric round trip" — so a caller three packages away can
+// consume the summary instead of re-deriving it from the callee's body.
+//
+// Facts are scoped per analyzer: an analyzer sees only the facts it
+// exported itself. Because the whole program is loaded into one process
+// (the loader type-checks every target package together), the store is a
+// plain in-memory map; the serialization half of the upstream facts
+// protocol is unnecessary until the driver becomes per-package.
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// Fact is a marker interface for analyzer-defined summary types. Facts
+// must be pointer types; the AFact method is purely a marker.
+type Fact interface{ AFact() }
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type factSet map[factKey]Fact
+
+// ExportFact records fact (a pointer to an analyzer-defined struct) as
+// holding for obj, overwriting any previous fact of the same type.
+// Analyzers propagating summaries bottom-up should export facts while
+// iterating the call graph's SCCs in the order SCCs returns
+// (callees-first), so every ImportFact on a callee already sees its
+// final value.
+func (p *Pass) ExportFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic(fmt.Sprintf("%s: ExportFact with nil object", p.Analyzer.Name))
+	}
+	k := factKey{obj, factType(fact)}
+	(*p.facts)[k] = fact
+}
+
+// ImportFact copies the fact of fact's type previously exported for obj
+// into fact and reports whether one existed.
+func (p *Pass) ImportFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	stored, ok := (*p.facts)[factKey{obj, factType(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// HasFact reports whether a fact of fact's type was exported for obj,
+// without copying it.
+func (p *Pass) HasFact(obj types.Object, fact Fact) bool {
+	_, ok := (*p.facts)[factKey{obj, factType(fact)}]
+	return ok
+}
+
+func factType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("fact %T is not a pointer type", fact))
+	}
+	return t
+}

@@ -57,6 +57,23 @@ func CollectSuppressions(prog *Program) []*Suppression {
 	return out
 }
 
+// SuppressedAt reports whether a valid directive for the named analyzer
+// covers the given position — the same own-line-or-line-above rule used
+// for diagnostics. Fact-driven analyzers use it to keep a sanctioned
+// (suppressed) site from tainting its callers' summaries: the inline
+// justification declares the site safe, so the fact must not outlive it.
+func SuppressedAt(sups []*Suppression, analyzer string, pos token.Position) bool {
+	for _, s := range sups {
+		if s.Malformed || s.Analyzer != analyzer || s.Pos.Filename != pos.Filename {
+			continue
+		}
+		if s.Pos.Line == pos.Line || s.Pos.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
 // match returns the suppression covering d, if any.
 func match(sups []*Suppression, d Diagnostic) *Suppression {
 	for _, s := range sups {

@@ -12,14 +12,21 @@ import (
 // is a potential fabric round trip, so a loop of them pays the paper's
 // remote-access gap once per ID; frontiers must instead be partitioned by
 // owner (farm.PrimaryOf) and evaluated near the data in batched RPCs, the
-// way execLevel/execBatch do. Loops that are provably machine-local —
-// owner-side batch executors whose slice was already partitioned by the
-// caller — carry an inline suppression stating exactly that.
+// way execLevel/execBatch do.
+//
+// The check is fact-driven over the module-wide call graph: a helper
+// that performs a per-ID read any number of calls below the loop body is
+// flagged at the loop's call site, with the chain to the primitive named
+// in the message. A per-ID read site carrying a justified
+// //lint:ignore a1/batchreads suppression is sanctioned machine-local
+// and does not taint its callers. Loops that are provably machine-local
+// — owner-side batch executors whose slice was already partitioned by
+// the caller — carry an inline suppression stating exactly that.
 var BatchReads = &analysis.Analyzer{
 	Name: "a1/batchreads",
 	Doc: "per-ID vertex reads in a loop over a frontier/ID slice must go through " +
-		"the batched owner-side read path",
-	Run: runBatchReads,
+		"the batched owner-side read path, including reads hidden below helpers",
+	RunProgram: runBatchReads,
 }
 
 // per-ID read APIs: one or more fabric round trips per call.
@@ -37,50 +44,122 @@ var batchReadsExempt = map[string]bool{
 	corePath:          true, // the implementation layer under the batch APIs
 }
 
+// perIDReadFact summarizes "calling this function performs at least one
+// per-ID vertex/object read"; Chain spells the call path down to the
+// primitive, for the diagnostic.
+type perIDReadFact struct{ Chain string }
+
+func (*perIDReadFact) AFact() {}
+
 func runBatchReads(pass *analysis.Pass) error {
-	pkg := pass.Pkg
-	if batchReadsExempt[pkg.Path] {
-		return nil
+	prog := pass.Program
+	cg := prog.CallGraph()
+	sups := analysis.CollectSuppressions(prog)
+
+	// perIDAPI classifies a direct call to the read primitives.
+	perIDAPI := func(fn *types.Func) bool {
+		switch funcPkgPath(fn) {
+		case corePath:
+			return coreVertexReads[fn.Name()]
+		case farmPath:
+			return farmObjectReads[fn.Name()]
+		}
+		return false
 	}
-	info := pkg.TypesInfo
-	eachFunc(pkg, func(name string, decl ast.Node, body *ast.BlockStmt) {
-		ast.Inspect(body, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
+
+	// Bottom-up facts: a non-exempt function that calls a per-ID
+	// primitive (at an unsanctioned site), or calls a non-exempt helper
+	// that does, performs per-ID reads itself. Facts do not propagate
+	// through exempt packages: those are the implementation layers under
+	// the batch APIs, already outside the contract's scope.
+	for _, comp := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if batchReadsExempt[n.Pkg.Path] || pass.HasFact(n.Func, &perIDReadFact{}) {
+					continue
+				}
+				for _, e := range n.Out {
+					if e.Abstract {
+						continue
+					}
+					sitePos := prog.Fset.Position(e.Site.Pos())
+					if perIDAPI(e.Callee) {
+						if analysis.SuppressedAt(sups, pass.Analyzer.Name, sitePos) {
+							continue // sanctioned machine-local site
+						}
+						pass.ExportFact(n.Func, &perIDReadFact{Chain: calleeLabel(e.Callee)})
+						changed = true
+						break
+					}
+					var f perIDReadFact
+					if fpkg := funcPkgPath(e.Callee); !batchReadsExempt[fpkg] && pass.ImportFact(e.Callee, &f) {
+						pass.ExportFact(n.Func, &perIDReadFact{Chain: e.Callee.Name() + " → " + f.Chain})
+						changed = true
+						break
+					}
+				}
 			}
-			if !rangesOverPtrSlice(info, rs) {
-				return true
-			}
-			ast.Inspect(rs.Body, func(inner ast.Node) bool {
-				call, ok := inner.(*ast.CallExpr)
+		}
+	}
+
+	// Report: calls inside loops over frontier/ID slices, in non-exempt
+	// packages, that directly or transitively perform per-ID reads.
+	for _, pkg := range prog.Packages {
+		if batchReadsExempt[pkg.Path] {
+			continue
+		}
+		info := pkg.TypesInfo
+		eachFunc(pkg, func(name string, decl ast.Node, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
 				if !ok {
 					return true
 				}
-				fn := calleeOf(info, call)
-				if fn == nil {
+				if !rangesOverPtrSlice(info, rs) {
 					return true
 				}
-				perID := false
-				switch funcPkgPath(fn) {
-				case corePath:
-					perID = coreVertexReads[fn.Name()]
-				case farmPath:
-					perID = farmObjectReads[fn.Name()]
-				}
-				if perID {
-					pass.Reportf(call.Pos(),
-						"per-ID %s inside a loop over %s: each call is a potential fabric "+
-							"round trip; partition the frontier by owner and ship a batched RPC "+
-							"(see execLevel/execBatch), or justify machine-locality",
-						fn.Name(), types.ExprString(rs.X))
-				}
+				ast.Inspect(rs.Body, func(inner ast.Node) bool {
+					call, ok := inner.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeOf(info, call)
+					if fn == nil {
+						return true
+					}
+					if perIDAPI(fn) {
+						pass.Reportf(call.Pos(),
+							"per-ID %s inside a loop over %s: each call is a potential fabric "+
+								"round trip; partition the frontier by owner and ship a batched RPC "+
+								"(see execLevel/execBatch), or justify machine-locality",
+							fn.Name(), types.ExprString(rs.X))
+						return true
+					}
+					var f perIDReadFact
+					if fpkg := funcPkgPath(fn); !batchReadsExempt[fpkg] && pass.ImportFact(fn, &f) {
+						pass.Reportf(call.Pos(),
+							"per-ID read hidden below %s inside a loop over %s (%s → %s): each "+
+								"iteration is a potential fabric round trip; partition the frontier by "+
+								"owner and ship a batched RPC (see execLevel/execBatch), or justify "+
+								"machine-locality",
+							fn.Name(), types.ExprString(rs.X), fn.Name(), f.Chain)
+					}
+					return true
+				})
 				return true
 			})
-			return true
 		})
-	})
+	}
 	return nil
+}
+
+// calleeLabel names a primitive for chain messages: pkgshortname.Func.
+func calleeLabel(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
 }
 
 // rangesOverPtrSlice reports whether rs iterates a []farm.Ptr (which

@@ -2,9 +2,13 @@
 // distributed-correctness contracts the codebase relies on — stats commit
 // hooks on every write path, deterministic coordinator merges, the
 // paper's local/remote access gap priced into lock and read discipline,
-// and error codes that always map to an HTTP status — expressed as build
-// failures instead of prose. See docs/lint.md for the contract behind
-// each analyzer and the suppression policy.
+// a single global lock-acquisition order, cursors and transactions
+// released on every path, and error codes that always map to an HTTP
+// status — expressed as build failures instead of prose. The checks are
+// interprocedural where the contract demands it, built on the call
+// graph, facts, and CFG kernel in internal/lint/analysis. See
+// docs/lint.md for the contract behind each analyzer and the
+// suppression policy.
 package lint
 
 import (
@@ -20,7 +24,9 @@ func All() []*analysis.Analyzer {
 		StatsHook,
 		MapOrder,
 		LockFabric,
+		LockOrder,
 		BatchReads,
+		Release,
 		ErrCode,
 	}
 }

@@ -20,7 +20,8 @@ func needGo(t *testing.T) {
 
 func TestStatsHook(t *testing.T) {
 	needGo(t)
-	analysistest.Run(t, "testdata/statshook", lint.StatsHook, "a1/internal/core")
+	analysistest.Run(t, "testdata/statshook", lint.StatsHook,
+		"a1/internal/core", "a1/internal/hooks")
 }
 
 func TestMapOrder(t *testing.T) {
@@ -37,7 +38,19 @@ func TestLockFabric(t *testing.T) {
 
 func TestBatchReads(t *testing.T) {
 	needGo(t)
-	analysistest.Run(t, "testdata/batchreads", lint.BatchReads, "a1/internal/exec")
+	analysistest.Run(t, "testdata/batchreads", lint.BatchReads,
+		"a1/internal/exec", "a1/internal/hydra")
+}
+
+func TestLockOrder(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/lockorder", lint.LockOrder,
+		"a1/internal/alpha", "a1/internal/beta")
+}
+
+func TestRelease(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/release", lint.Release, "a1/internal/work")
 }
 
 func TestErrCode(t *testing.T) {

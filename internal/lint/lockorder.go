@@ -1,0 +1,458 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"a1/internal/lint/analysis"
+)
+
+// LockOrder builds the module-wide lock-acquisition-order graph and
+// reports every cycle as a potential deadlock. Locks are abstracted to
+// classes — the named type and field that declare the mutex
+// (objectstore.Store.mu, farm.Region.mu, ...), or the declaring function
+// for function-local mutexes — and an edge A→B is recorded whenever code
+// anywhere in the module acquires B while provably holding A, either
+// directly or through any chain of calls (each function's transitive
+// acquisition set is a fact propagated bottom-up over the call graph,
+// so the inner acquisition may be buried packages away). Two code paths
+// that order the same two classes oppositely can interleave into a
+// deadlock no test reliably reproduces; the analyzer makes the global
+// order a build-time contract instead.
+//
+// Approximations, chosen to keep findings high-signal: held sets are
+// tracked in source order within each function (like a1/lockfabric);
+// function literals are assumed to run where they are defined, with the
+// definer's locks held (the fabric.Parallel pattern); deferred and
+// goroutine-spawned calls acquire nothing at the spawn point; and
+// self-edges (re-acquiring the same class, e.g. address-ordered region
+// lock coupling) are intra-class instance ordering the class abstraction
+// cannot judge, and are ignored. A cycle is reported once, anchored at
+// its lexicographically first contributing acquisition site, with every
+// chain in the message.
+var LockOrder = &analysis.Analyzer{
+	Name: "a1/lockorder",
+	Doc: "lock classes must be acquired in one consistent global order; any " +
+		"cycle in the acquisition-order graph is a potential deadlock",
+	RunProgram: runLockOrder,
+}
+
+// acquiresFact summarizes the lock classes a call to this function may
+// acquire, directly or transitively. Sorted for determinism.
+type acquiresFact struct{ Locks []string }
+
+func (*acquiresFact) AFact() {}
+
+// lockEdge is one observed ordering: "to" acquired while "from" held.
+type lockEdge struct {
+	from, to string
+	pos      token.Position // acquisition site (first seen wins)
+	fn       string         // function whose body orders them
+	via      string         // "" for direct Lock; callee chain otherwise
+}
+
+type lockOrderState struct {
+	pass  *analysis.Pass
+	edges map[[2]string]*lockEdge
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	st := &lockOrderState{pass: pass, edges: map[[2]string]*lockEdge{}}
+	cg := pass.Program.CallGraph()
+
+	// Pass 1 — facts: each function's transitive acquisition set,
+	// bottom-up over the SCC condensation (cycle-safe fixpoint within a
+	// component).
+	for _, comp := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if st.updateAcquires(n) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 2 — edges: source-order held-set walk per function; direct
+	// acquisitions and callee acquisition sets both order against every
+	// held lock.
+	for _, n := range cg.Functions() {
+		st.collectEdges(n)
+	}
+
+	// Pass 3 — cycles in the order graph.
+	st.reportCycles()
+	return nil
+}
+
+// lockClassOf abstracts the receiver expression of a Lock/RLock call to
+// a lock class: "pkg.Type.field" for a mutex field, "pkg.Type" for an
+// embedded mutex, "pkg.Func.name" for a function-local mutex. The bool
+// is false when no stable class can be derived (dynamic expressions).
+func lockClassOf(info *types.Info, recv ast.Expr, enclosing string) (string, bool) {
+	recv = ast.Unparen(recv)
+	// An embedded mutex: the receiver expression's own type is the named
+	// type that embeds it, and that type is the lock class — however the
+	// instance was reached (parameter, field, index expression).
+	if tv, ok := info.Types[recv]; ok {
+		if n := namedOrAlias(tv.Type); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+			return n.Obj().Pkg().Path() + "." + n.Obj().Name(), true
+		}
+	}
+	// A plain sync.Mutex/RWMutex field x.f: class is the named type of x
+	// plus the field name.
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok {
+			if n := namedOrAlias(tv.Type); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + sel.Sel.Name, true
+			}
+		}
+		return "", false
+	}
+	// A bare local mutex variable: function-scoped class.
+	if id, ok := recv.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + enclosing + "." + id.Name, true
+		}
+	}
+	return "", false
+}
+
+// updateAcquires recomputes n's transitive acquisition set; reports change.
+func (st *lockOrderState) updateAcquires(n *analysis.CallNode) bool {
+	set := map[string]bool{}
+	var old acquiresFact
+	st.pass.ImportFact(n.Func, &old)
+	for _, l := range old.Locks {
+		set[l] = true
+	}
+	before := len(set)
+
+	info := n.Pkg.TypesInfo
+	name := n.Decl.Name.Name
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, op, ok := mutexOp(info, call); ok && (op == "Lock" || op == "RLock") {
+			if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+				if class, ok := lockClassOf(info, sel.X, name); ok {
+					set[class] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, e := range n.Out {
+		var f acquiresFact
+		if st.pass.ImportFact(e.Callee, &f) {
+			for _, l := range f.Locks {
+				set[l] = true
+			}
+		}
+	}
+	if len(set) == before {
+		return false
+	}
+	locks := make([]string, 0, len(set))
+	for l := range set {
+		locks = append(locks, l)
+	}
+	sort.Strings(locks)
+	st.pass.ExportFact(n.Func, &acquiresFact{Locks: locks})
+	return true
+}
+
+// collectEdges walks n's body in source order, tracking held lock
+// classes and recording ordering edges.
+func (st *lockOrderState) collectEdges(n *analysis.CallNode) {
+	info := n.Pkg.TypesInfo
+	name := n.Decl.Name.Name
+	held := []string{} // acquisition order; membership checked linearly
+	st.walkHeld(info, n, name, n.Decl.Body, held)
+}
+
+// walkHeld processes statements in source order. Function literals are
+// walked with a copy of the current held set (they may run where they
+// are defined); their effects on the held set do not leak out. Deferred
+// and go-spawned calls are skipped at the spawn point.
+func (st *lockOrderState) walkHeld(info *types.Info, n *analysis.CallNode, name string, body ast.Node, held []string) {
+	skip := map[ast.Node]bool{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.DeferStmt:
+			skip[x.Call] = true
+			// Deferred unlocks release at return, not here: the lock
+			// stays in the held set for the rest of the body, matching
+			// a1/lockfabric.
+		case *ast.GoStmt:
+			skip[x.Call] = true // runs concurrently without our locks
+		case *ast.FuncLit:
+			cp := append([]string(nil), held...)
+			st.walkHeld(info, n, name+" (func literal)", x.Body, cp)
+			return false
+		case *ast.CallExpr:
+			if skip[x] {
+				return true
+			}
+			if _, op, ok := mutexOp(info, x); ok {
+				sel := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+				class, classOK := lockClassOf(info, sel.X, n.Decl.Name.Name)
+				if !classOK {
+					return true
+				}
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range held {
+						st.addEdge(h, class, x.Pos(), name, "")
+					}
+					held = append(held, class)
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == class {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			callee := calleeOf(info, x)
+			if callee == nil {
+				return true
+			}
+			var f acquiresFact
+			if st.pass.ImportFact(callee, &f) {
+				for _, h := range held {
+					for _, l := range f.Locks {
+						st.addEdge(h, l, x.Pos(), name, callee.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (st *lockOrderState) addEdge(from, to string, pos token.Pos, fn, via string) {
+	if from == to {
+		return // intra-class instance ordering: out of scope
+	}
+	key := [2]string{from, to}
+	if _, ok := st.edges[key]; ok {
+		return
+	}
+	st.edges[key] = &lockEdge{
+		from: from, to: to,
+		pos: st.pass.Program.Fset.Position(pos),
+		fn:  fn, via: via,
+	}
+}
+
+// reportCycles finds strongly connected components of the order graph
+// and reports one diagnostic per cyclic component.
+func (st *lockOrderState) reportCycles() {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for key := range st.edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodes[key[0]], nodes[key[1]] = true, true
+	}
+	var names []string
+	for nd := range nodes {
+		names = append(names, nd)
+	}
+	sort.Strings(names)
+	for _, outs := range adj {
+		sort.Strings(outs)
+	}
+
+	for _, comp := range stringSCCs(names, adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		st.reportCycle(comp, adj)
+	}
+}
+
+// reportCycle reconstructs a minimal cycle within the component and
+// reports it with every edge's acquisition site.
+func (st *lockOrderState) reportCycle(comp []string, adj map[string][]string) {
+	sort.Strings(comp)
+	inComp := map[string]bool{}
+	for _, c := range comp {
+		inComp[c] = true
+	}
+	start := comp[0]
+
+	// BFS from start back to start within the component.
+	type step struct {
+		node string
+		prev *step
+	}
+	q := []*step{{node: start}}
+	seen := map[string]bool{}
+	var cycle []string
+	for len(q) > 0 && cycle == nil {
+		s := q[0]
+		q = q[1:]
+		for _, nxt := range adj[s.node] {
+			if !inComp[nxt] {
+				continue
+			}
+			if nxt == start {
+				// cycle holds each node once; the wrap-around edge back to
+				// start is implied by indexing modulo len(cycle).
+				for p := s; p != nil; p = p.prev {
+					cycle = append([]string{p.node}, cycle...)
+				}
+				break
+			}
+			if !seen[nxt] {
+				seen[nxt] = true
+				q = append(q, &step{node: nxt, prev: s})
+			}
+		}
+	}
+	if cycle == nil {
+		return // unreachable for a valid SCC
+	}
+
+	// Describe each edge of the cycle and anchor the diagnostic at the
+	// lexicographically first site so the report (and any suppression)
+	// has one stable home.
+	var chains []string
+	var anchor *lockEdge
+	for i := 0; i < len(cycle); i++ {
+		e := st.edges[[2]string{cycle[i], cycle[(i+1)%len(cycle)]}]
+		if e == nil {
+			return
+		}
+		site := fmt.Sprintf("%s:%d", filepath.Base(e.pos.Filename), e.pos.Line)
+		how := "locks"
+		if e.via != "" {
+			how = "reaches a lock of"
+		}
+		chains = append(chains, fmt.Sprintf("%s %s %s while holding %s (%s, %s)",
+			e.fn, how, shortLock(e.to), shortLock(e.from), viaNote(e), site))
+		if anchor == nil || posLess(e.pos, anchor.pos) {
+			anchor = e
+		}
+	}
+	var ring []string
+	for _, c := range cycle {
+		ring = append(ring, shortLock(c))
+	}
+	ring = append(ring, shortLock(cycle[0])) // close the ring for display
+	st.pass.ReportAt(anchor.pos,
+		"lock-order cycle %s is a potential deadlock: %s; "+
+			"acquire these lock classes in one global order (or break the hold "+
+			"spans with the paper's release-before-remote discipline)",
+		joinArrows(ring), joinSemis(chains))
+}
+
+func viaNote(e *lockEdge) string {
+	if e.via == "" {
+		return "direct"
+	}
+	return "via " + e.via
+}
+
+func shortLock(class string) string {
+	// Trim the module-internal prefix for readability; the full class
+	// name remains unambiguous within this module.
+	const p = "a1/internal/"
+	if len(class) > len(p) && class[:len(p)] == p {
+		return class[len(p):]
+	}
+	return class
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func joinArrows(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " → "
+		}
+		out += p
+	}
+	return out
+}
+
+func joinSemis(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}
+
+// stringSCCs is Tarjan over a string-keyed graph, deterministic given
+// sorted inputs.
+func stringSCCs(nodes []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var visit func(v string)
+	visit = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				visit(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			visit(v)
+		}
+	}
+	return out
+}

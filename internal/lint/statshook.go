@@ -1,9 +1,6 @@
 package lint
 
 import (
-	"go/ast"
-	"go/types"
-
 	"a1/internal/lint/analysis"
 )
 
@@ -13,13 +10,17 @@ import (
 // (statsVertexAdded/Removed/Updated, statsEdgeAdded/Removed, or a
 // stats.Local delta method) somewhere on its call path, so committed
 // mutations always feed the tracker and the planner's estimates never
-// silently rot. Catalog/schema-plane mutations that the statistics
-// subsystem deliberately ignores are suppressed inline with a rationale.
+// silently rot. The check is interprocedural over the module-wide call
+// graph: both the mutation and the hook may sit any number of calls
+// below the exported entry point, in any package — a mutator that
+// reaches its hook through a cross-package helper needs no exemption.
+// Catalog/schema-plane mutations that the statistics subsystem
+// deliberately ignores are suppressed inline with a rationale.
 var StatsHook = &analysis.Analyzer{
 	Name: "a1/statshook",
 	Doc: "exported internal/core functions that mutate vertex/edge/index state " +
 		"must reach a stats commit hook on the non-abort path",
-	Run: runStatsHook,
+	RunProgram: runStatsHook,
 }
 
 const (
@@ -63,7 +64,8 @@ var coreStatsHooks = map[string]bool{
 	"statsEdgeRemoved":   true,
 }
 
-// stats.Local delta methods, accepted when called directly.
+// stats.Local delta methods, accepted as commit hooks wherever they are
+// called from.
 var statsLocalHooks = map[string]bool{
 	"VertexAdded":       true,
 	"VertexRemoved":     true,
@@ -73,102 +75,101 @@ var statsLocalHooks = map[string]bool{
 	"EdgeRemoved":       true,
 }
 
+// mutatesFact summarizes "this function (transitively) performs a
+// farm-level mutation the statistics tracker counts"; Reason names the
+// primitive or the call chain that introduced it.
+type mutatesFact struct{ Reason string }
+
+func (*mutatesFact) AFact() {}
+
+// hooksFact summarizes "this function (transitively) reaches a stats
+// commit hook".
+type hooksFact struct{}
+
+func (*hooksFact) AFact() {}
+
 func runStatsHook(pass *analysis.Pass) error {
-	pkg := pass.Pkg
-	if pkg.Path != corePath {
-		return nil
-	}
-	info := pkg.TypesInfo
+	cg := pass.Program.CallGraph()
 
-	type funcFacts struct {
-		decl    *ast.FuncDecl
-		mutates bool
-		reason  string // the farm primitive (or callee) that made it mutating
-		hooks   bool
-		callees map[*types.Func]bool
-	}
-	facts := map[*types.Func]*funcFacts{}
-	var order []*types.Func
-
-	for _, f := range pkg.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, _ := info.Defs[fd.Name].(*types.Func)
-			if obj == nil {
-				continue
-			}
-			ff := &funcFacts{decl: fd, callees: map[*types.Func]bool{}}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeOf(info, call)
-				if callee == nil {
-					return true
-				}
-				switch funcPkgPath(callee) {
-				case farmPath:
-					if farmMutators[callee.Name()] && !ff.mutates {
-						ff.mutates = true
-						ff.reason = "farm." + callee.Name()
-					}
-				case statsPath:
-					if statsLocalHooks[callee.Name()] {
-						ff.hooks = true
-					}
-				case pkg.Path:
-					if coreStatsHooks[callee.Name()] {
-						ff.hooks = true
-					}
-					if !coreCatalogPlane[callee.Name()] {
-						ff.callees[callee] = true
-					}
-				}
-				return true
-			})
-			facts[obj] = ff
-			order = append(order, obj)
-		}
-	}
-
-	// Fixpoint: mutation flows up to callers, hook reachability flows up
-	// from callees — a function reaches a hook if anything it calls does.
-	for changed := true; changed; {
-		changed = false
-		for _, obj := range order {
-			ff := facts[obj]
-			for callee := range ff.callees {
-				cf, ok := facts[callee]
-				if !ok {
-					continue
-				}
-				if cf.mutates && !ff.mutates {
-					ff.mutates = true
-					ff.reason = "call to " + callee.Name() + " (" + cf.reason + ")"
-					changed = true
-				}
-				if cf.hooks && !ff.hooks {
-					ff.hooks = true
-					changed = true
-				}
+	// Bottom-up over the SCC condensation: each component is processed
+	// after everything it calls, so callee facts are final; within a
+	// component, iterate to a fixpoint (mutual recursion).
+	for _, comp := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				m := statsHookApply(pass, n)
+				changed = changed || m
 			}
 		}
 	}
 
-	for _, obj := range order {
-		ff := facts[obj]
-		if !ff.decl.Name.IsExported() || !ff.mutates || ff.hooks {
+	// Report: exported functions in internal/core that mutate tracked
+	// state without reaching any hook.
+	for _, n := range cg.Functions() {
+		if n.Pkg.Path != corePath || !n.Decl.Name.IsExported() {
 			continue
 		}
-		pass.Reportf(ff.decl.Name.Pos(),
+		var mf mutatesFact
+		if !pass.ImportFact(n.Func, &mf) || pass.HasFact(n.Func, &hooksFact{}) {
+			continue
+		}
+		pass.Reportf(n.Decl.Name.Pos(),
 			"%s mutates graph state (%s) but never reaches a stats commit hook; "+
 				"committed mutations must feed the planner's statistics (statsVertex*/statsEdge*) "+
 				"or the cost model silently rots",
-			ff.decl.Name.Name, ff.reason)
+			n.Decl.Name.Name, mf.Reason)
 	}
 	return nil
+}
+
+// statsHookApply recomputes n's facts from its direct calls and its
+// callees' current facts; it reports whether anything changed.
+func statsHookApply(pass *analysis.Pass, n *analysis.CallNode) bool {
+	hadMut := pass.HasFact(n.Func, &mutatesFact{})
+	hadHook := pass.HasFact(n.Func, &hooksFact{})
+	mutates, hooks := hadMut, hadHook
+	var reason string
+
+	for _, e := range n.Out {
+		if e.Abstract {
+			continue // interface fan-out is too coarse for this contract
+		}
+		name := e.Callee.Name()
+		switch funcPkgPath(e.Callee) {
+		case farmPath:
+			if farmMutators[name] && !mutates {
+				mutates, reason = true, "farm."+name
+			}
+			continue
+		case statsPath:
+			if statsLocalHooks[name] {
+				hooks = true
+			}
+			continue
+		case corePath:
+			if coreStatsHooks[name] {
+				hooks = true
+			}
+			if coreCatalogPlane[name] {
+				continue // catalog plane: deliberately not followed
+			}
+		}
+		// Propagate the callee's summaries (cross-package included).
+		var mf mutatesFact
+		if !mutates && pass.ImportFact(e.Callee, &mf) {
+			mutates, reason = true, "call to "+name+" ("+mf.Reason+")"
+		}
+		if !hooks && pass.HasFact(e.Callee, &hooksFact{}) {
+			hooks = true
+		}
+	}
+
+	if mutates && !hadMut {
+		pass.ExportFact(n.Func, &mutatesFact{Reason: reason})
+	}
+	if hooks && !hadHook {
+		pass.ExportFact(n.Func, &hooksFact{})
+	}
+	return (mutates && !hadMut) || (hooks && !hadHook)
 }

@@ -5,6 +5,7 @@ package exec
 import (
 	"a1/internal/core"
 	"a1/internal/farm"
+	"a1/internal/hydra"
 )
 
 // Bad: one core read per frontier entry.
@@ -48,6 +49,52 @@ func ByID(g *core.Graph, tx *farm.Tx, ids []string) ([]*core.Vertex, error) {
 	var out []*core.Vertex
 	for _, id := range ids {
 		v, err := g.LookupVertex(tx, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Bad (fact-driven): the per-ID read sits one call below the loop body,
+// in another package; the PR-6 loop-body scanner missed this entirely.
+func HydrateViaHelper(g *core.Graph, tx *farm.Tx, frontier []core.VertexPtr) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	for _, vp := range frontier {
+		v, err := hydra.FetchOne(g, tx, vp) // want `per-ID read hidden below FetchOne inside a loop over frontier`
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Bad (fact-driven): two helper hops; the chain in the message names the
+// whole path down to the primitive.
+func HydrateDeep(g *core.Graph, tx *farm.Tx, frontier []core.VertexPtr) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	for _, vp := range frontier {
+		v, err := fetchLocal(g, tx, vp) // want `fetchLocal → FetchOne → core.ReadVertex`
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fetchLocal(g *core.Graph, tx *farm.Tx, vp core.VertexPtr) (*core.Vertex, error) {
+	return hydra.FetchOne(g, tx, vp)
+}
+
+// Good: the helper's per-ID site carries a sanctioned machine-local
+// suppression, so it does not taint callers' loops.
+func HydrateSanctioned(g *core.Graph, tx *farm.Tx, frontier []core.VertexPtr) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	for _, vp := range frontier {
+		v, err := hydra.FetchSanctioned(g, tx, vp)
 		if err != nil {
 			return nil, err
 		}

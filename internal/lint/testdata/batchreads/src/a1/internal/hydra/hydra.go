@@ -1,0 +1,22 @@
+// Cross-package helpers for the a1/batchreads fixtures: per-ID reads
+// hidden one call below the loop, which the PR-6 loop-body scanner
+// could not see across this boundary.
+package hydra
+
+import (
+	"a1/internal/core"
+	"a1/internal/farm"
+)
+
+// FetchOne performs a per-ID read; callers looping over frontiers pick
+// it up through the a1/batchreads facts layer.
+func FetchOne(g *core.Graph, tx *farm.Tx, vp core.VertexPtr) (*core.Vertex, error) {
+	return g.ReadVertex(tx, vp)
+}
+
+// FetchSanctioned reads per-ID at a site sanctioned as machine-local;
+// the suppression keeps the fact from tainting callers.
+func FetchSanctioned(g *core.Graph, tx *farm.Tx, vp core.VertexPtr) (*core.Vertex, error) {
+	//lint:ignore a1/batchreads machine-local by contract: callers pass owner-resident pointers only
+	return g.ReadVertex(tx, vp)
+}

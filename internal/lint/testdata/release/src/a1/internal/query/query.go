@@ -1,0 +1,11 @@
+// Stub of the real a1/internal/query cursor surface, just deep enough
+// for the a1/release fixtures to type-check under the same import path.
+package query
+
+type Rows struct{ done bool }
+
+func Open(q string) (*Rows, error) { return &Rows{}, nil }
+
+func (r *Rows) Next() bool   { return !r.done }
+func (r *Rows) Err() error   { return nil }
+func (r *Rows) Close() error { return nil }

@@ -4,6 +4,7 @@ package core
 
 import (
 	"a1/internal/farm"
+	"a1/internal/hooks"
 	"a1/internal/stats"
 )
 
@@ -80,6 +81,23 @@ func (g *Graph) CreateEmptyTree(tx *farm.Tx) (*farm.BTree, error) {
 func (g *Graph) ReadThing(tx *farm.Tx, k []byte) ([]byte, error) {
 	v, _, err := g.bt.Get(tx, k)
 	return v, err
+}
+
+// Good (fact-driven): the commit hook sits one package away, below
+// hooks.RecordVertexAdded; the PR-6 per-package analyzer flagged this
+// shape and forced a suppression, the interprocedural one sees through.
+func (g *Graph) CreateThingRemoteHook(tx *farm.Tx, k, v []byte) error {
+	if err := g.bt.Put(tx, k, v); err != nil {
+		return err
+	}
+	hooks.RecordVertexAdded(g.stats, 1)
+	return nil
+}
+
+// Bad (fact-driven): the mutation itself hides below a cross-package
+// helper; the PR-6 analyzer missed it entirely.
+func (g *Graph) CreateThingRemoteMutation(tx *farm.Tx, k, v []byte) error { // want `CreateThingRemoteMutation mutates graph state`
+	return hooks.PutRow(g.bt, tx, k, v)
 }
 
 //lint:ignore a1/statshook bulk loader feeds the tracker through Analyze afterwards

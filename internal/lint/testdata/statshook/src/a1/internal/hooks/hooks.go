@@ -1,0 +1,21 @@
+// Cross-package helpers for the a1/statshook fixtures: the PR-6
+// per-package analyzer could see neither the hook nor the mutation
+// below this boundary; the fact-driven version summarizes both.
+package hooks
+
+import (
+	"a1/internal/farm"
+	"a1/internal/stats"
+)
+
+// RecordVertexAdded reaches a stats commit hook one package away from
+// its core callers.
+func RecordVertexAdded(l *stats.Local, typeID uint16) {
+	l.VertexAdded(typeID)
+}
+
+// PutRow performs a tracked mutation one package away from its core
+// callers.
+func PutRow(bt *farm.BTree, tx *farm.Tx, k, v []byte) error {
+	return bt.Put(tx, k, v)
+}

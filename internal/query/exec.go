@@ -1043,6 +1043,7 @@ func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, p
 			if seen[vp.Addr] {
 				continue
 			}
+			//lint:ignore a1/batchreads machine-local batch: orderedMemberScan runs owner-side on a PrimaryOf-partitioned batch, so the read below this helper never leaves the machine
 			row, ok, err := st.buildTerminalRow(sc, tx, vp, pat)
 			if err != nil {
 				return nil, true, err
@@ -1435,6 +1436,7 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 			st.addVertexRead()
 		}
 		if len(pat.Matches) > 0 {
+			//lint:ignore a1/batchreads machine-local batch: execBatch runs owner-side on a PrimaryOf-partitioned batch; match-subtree reads below this helper stay on the owner
 			ok, err := st.evalMatches(sc, tx, vp, pat.Matches)
 			if err != nil {
 				return nil, err
@@ -1471,6 +1473,7 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 			}
 			continue
 		}
+		//lint:ignore a1/batchreads machine-local batch: execBatch runs owner-side on a PrimaryOf-partitioned batch; half-edge enumeration below this helper reads owner-resident objects
 		next, err := st.traverseEdge(sc, tx, vp, pat.Edge)
 		if err != nil {
 			return nil, err
