@@ -1,0 +1,83 @@
+package a1_test
+
+import (
+	"testing"
+
+	"a1"
+	"a1/internal/workload"
+)
+
+// Alloc-tracked microbenchmarks over the query hot path (Direct mode,
+// real wall clock, -benchmem/-ReportAllocs): the 2-hop Zipf traversal,
+// the ordered index-scan root, and the `_groupby` rollup. These are the
+// go-test twins of the `allocs` a1bench report — CI runs them with
+// -benchmem so allocs/op regressions show next to the trend table.
+
+func directZipf(b *testing.B) (*a1.DB, *a1.Graph, *workload.ZipfGraph) {
+	b.Helper()
+	db, err := a1.Open(a1.Options{Machines: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(db.Close)
+	var g *a1.Graph
+	z := workload.NewZipfGraph(2000, 6000, 1)
+	var loadErr error
+	db.Run(func(c *a1.Ctx) {
+		if loadErr = db.CreateTenant(c, "bing"); loadErr != nil {
+			return
+		}
+		if loadErr = db.CreateGraph(c, "bing", "zipf"); loadErr != nil {
+			return
+		}
+		if g, loadErr = db.OpenGraph(c, "bing", "zipf"); loadErr != nil {
+			return
+		}
+		loadErr = z.Load(c, g)
+	})
+	if loadErr != nil {
+		b.Fatal(loadErr)
+	}
+	return db, g, z
+}
+
+func benchAllocQuery(b *testing.B, query func(z *workload.ZipfGraph) string) {
+	b.Helper()
+	db, g, z := directZipf(b)
+	doc := query(z)
+	db.Run(func(c *a1.Ctx) {
+		// Warm plan cache and stats so iterations measure execution only.
+		if _, err := db.Query(c, g, doc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(c, g, doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAllocZipfTwoHop is the headline path: top-K by score over the
+// out-neighbors of the hot category (OrderedTraverse terminal).
+func BenchmarkAllocZipfTwoHop(b *testing.B) {
+	benchAllocQuery(b, func(z *workload.ZipfGraph) string {
+		return z.TopKNeighborsQuery(z.HotCategory(), 10)
+	})
+}
+
+// BenchmarkAllocZipfTopKCategory is the ordered index-scan root.
+func BenchmarkAllocZipfTopKCategory(b *testing.B) {
+	benchAllocQuery(b, func(z *workload.ZipfGraph) string {
+		return z.TopKInCategoryQuery(z.HotCategory(), 10)
+	})
+}
+
+// BenchmarkAllocZipfGroupBy is the `_groupby` rollup over every vertex.
+func BenchmarkAllocZipfGroupBy(b *testing.B) {
+	benchAllocQuery(b, func(z *workload.ZipfGraph) string {
+		return z.TopGroupsQuery(10)
+	})
+}

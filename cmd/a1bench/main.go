@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"groupby", "grouped-aggregate pushdown vs coordinator-side grouping", single(bench.GroupBy)},
 	{"planner", "cost-based vs structural access-path choice on the Zipf-skewed workload", single(bench.Planner)},
 	{"toporder", "ordered traversal terminal: merged top-K vs frontier sort on the Zipf workload", single(bench.TopOrder)},
+	{"allocs", "hot-path allocation discipline: allocs/op and bytes/op, pooled vs unpooled", single(bench.Allocs)},
 }
 
 func main() {

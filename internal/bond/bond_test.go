@@ -316,3 +316,57 @@ func TestIsZero(t *testing.T) {
 		}
 	}
 }
+
+func sizeCases() []Value {
+	return []Value{
+		Null,
+		Bool(true), Bool(false),
+		Int32(0), Int32(-1), Int32(math.MaxInt32), Int32(math.MinInt32),
+		Int64(math.MaxInt64), Int64(math.MinInt64),
+		UInt64(0), UInt64(127), UInt64(128), UInt64(math.MaxUint64),
+		Float(3.5), Double(math.Pi),
+		String(""), String("tom hanks"), String("日本語\x00binary"),
+		Blob(nil), Blob([]byte{0, 1, 2, 255}),
+		Date(18000), Date(-5),
+		List(), List(String("jaws"), Int32(1975), List(Bool(true))),
+		Map(MapEntry{String("b"), Int32(2)}, MapEntry{String("a"), Int32(1)}),
+		Struct(
+			FV(0, String("steven.spielberg")),
+			FV(1, List(String("jaws"), String("et"), Int32(1975))),
+			FV(1000, Map(MapEntry{String("genre"), String("thriller")})),
+		),
+	}
+}
+
+func TestMarshalSizeMatchesMarshal(t *testing.T) {
+	for _, v := range sizeCases() {
+		if got, want := MarshalSize(v), len(Marshal(v)); got != want {
+			t.Errorf("MarshalSize(%v) = %d, len(Marshal) = %d", v, got, want)
+		}
+	}
+}
+
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	b := []byte("prefix")
+	for _, v := range sizeCases() {
+		b = AppendMarshal(b, v)
+	}
+	want := []byte("prefix")
+	for _, v := range sizeCases() {
+		want = append(want, Marshal(v)...)
+	}
+	if !bytes.Equal(b, want) {
+		t.Errorf("AppendMarshal stream diverges from per-value Marshal")
+	}
+}
+
+func TestMarshalSizeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		return MarshalSize(v) == len(Marshal(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -18,6 +18,67 @@ func Marshal(v Value) []byte {
 	return appendValue(b, v)
 }
 
+// AppendMarshal appends v's encoding to b and returns the extended slice.
+// Encoders that already own a buffer (shape keys, wire frames) use this
+// instead of Marshal to avoid the intermediate per-value allocation.
+func AppendMarshal(b []byte, v Value) []byte {
+	return appendValue(b, v)
+}
+
+// MarshalSize returns len(Marshal(v)) without encoding anything. Byte
+// accounting (row wire sizing, group-state working-set charges) needs only
+// the size, so the throwaway Marshal buffer would be pure GC pressure.
+func MarshalSize(v Value) int {
+	n := 1 // kind byte
+	switch v.kind {
+	case KindNone:
+	case KindBool:
+		n++
+	case KindInt32, KindInt64, KindDate:
+		i := int64(v.num)
+		n += uvarintSize(uint64(i<<1) ^ uint64(i>>63))
+	case KindUInt64:
+		n += uvarintSize(v.num)
+	case KindFloat:
+		n += 4
+	case KindDouble:
+		n += 8
+	case KindString:
+		n += uvarintSize(uint64(len(v.str))) + len(v.str)
+	case KindBlob:
+		n += uvarintSize(uint64(len(v.blob))) + len(v.blob)
+	case KindList:
+		n += uvarintSize(uint64(len(v.list)))
+		for _, e := range v.list {
+			n += MarshalSize(e)
+		}
+	case KindMap:
+		n += uvarintSize(uint64(len(v.kv)))
+		for _, e := range v.kv {
+			n += MarshalSize(e.Key)
+			n += MarshalSize(e.Value)
+		}
+	case KindStruct:
+		n += uvarintSize(uint64(len(v.fields)))
+		for _, f := range v.fields {
+			n += uvarintSize(uint64(f.ID))
+			n += MarshalSize(f.Value)
+		}
+	default:
+		panic(fmt.Sprintf("bond: cannot encode kind %v", v.kind))
+	}
+	return n
+}
+
+func uvarintSize(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
 // MarshalStruct validates v against the schema and encodes it.
 func MarshalStruct(s *Schema, v Value) ([]byte, error) {
 	if err := s.Validate(v); err != nil {
@@ -49,13 +110,25 @@ func UnmarshalStruct(s *Schema, data []byte) (Value, error) {
 	if v.Kind() != KindStruct {
 		return Null, fmt.Errorf("bond: schema %q: decoded %v, want struct", s.Name, v.Kind())
 	}
-	kept := v.fields[:0:0]
+	// Dropping unknown fields is the upgrade path, not the common case:
+	// when every field is known (steady state) the decoded value is used
+	// as-is instead of copying the field list per decode.
+	known := true
 	for _, f := range v.fields {
-		if _, ok := s.FieldByID(f.ID); ok {
-			kept = append(kept, f)
+		if _, ok := s.FieldByID(f.ID); !ok {
+			known = false
+			break
 		}
 	}
-	v = Value{kind: KindStruct, fields: kept}
+	if !known {
+		kept := v.fields[:0:0]
+		for _, f := range v.fields {
+			if _, ok := s.FieldByID(f.ID); ok {
+				kept = append(kept, f)
+			}
+		}
+		v = Value{kind: KindStruct, fields: kept}
+	}
 	if err := s.Validate(v); err != nil {
 		return Null, err
 	}

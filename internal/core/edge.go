@@ -121,6 +121,14 @@ func (h *vertexHdr) setListRef(dir Direction, list farm.Ptr, count uint32, spill
 // enumerateHalfEdges walks one direction of a vertex's edge list,
 // optionally filtered by edge type id (0 = all; type ids start at 1).
 func (g *Graph) enumerateHalfEdges(tx *farm.Tx, gm *graphMeta, vp VertexPtr, hdr *vertexHdr, dir Direction, etypeFilter uint32, fn func(HalfEdge) bool) error {
+	return g.enumerateHalfEdgesWith(tx, gm, vp, hdr, dir, etypeFilter, fn, nil)
+}
+
+// enumerateHalfEdgesWith is enumerateHalfEdges with optional scratch
+// buffers: when s is non-nil the inline half-edge list is read into
+// s.data instead of a fresh tracked buffer (the list is fully decoded
+// into HalfEdge values before fn runs, so the bytes never escape).
+func (g *Graph) enumerateHalfEdgesWith(tx *farm.Tx, gm *graphMeta, vp VertexPtr, hdr *vertexHdr, dir Direction, etypeFilter uint32, fn func(HalfEdge) bool, s *readScratch) error {
 	list, count, spilled := hdr.listRef(dir)
 	if spilled {
 		tree := edgeTreeFor(g, gm, dir)
@@ -140,11 +148,21 @@ func (g *Graph) enumerateHalfEdges(tx *farm.Tx, gm *graphMeta, vp VertexPtr, hdr
 	if count == 0 || list.IsNil() {
 		return nil
 	}
-	buf, err := tx.Read(list)
-	if err != nil {
-		return err
+	var data []byte
+	if s != nil {
+		d, err := tx.ReadSizedInto(list.Addr, list.Size, s.data)
+		if err != nil {
+			return err
+		}
+		s.data = d
+		data = d
+	} else {
+		buf, err := tx.Read(list)
+		if err != nil {
+			return err
+		}
+		data = buf.Data()
 	}
-	data := buf.Data()
 	for i := 0; i+halfEdgeBytes <= len(data); i += halfEdgeBytes {
 		he := decodeHalfEdge(data[i:])
 		if etypeFilter != 0 && he.TypeID != etypeFilter {
@@ -542,11 +560,21 @@ func (g *Graph) EnumerateEdges(tx *farm.Tx, vp VertexPtr, dir Direction, etypeNa
 		}
 		filter = et.ID
 	}
-	_, hdr, err := g.readHeader(tx, vp)
+	s := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(s)
+	hb, err := tx.ReadSizedInto(vp.Addr, vertexHdrSize, s.hdr)
+	if err != nil {
+		if err == farm.ErrNotFound {
+			return ErrNotFound
+		}
+		return err
+	}
+	s.hdr = hb
+	hdr, err := decodeVertexHdrVal(hb)
 	if err != nil {
 		return err
 	}
-	return g.enumerateHalfEdges(tx, gm, vp, hdr, dir, filter, fn)
+	return g.enumerateHalfEdgesWith(tx, gm, vp, &hdr, dir, filter, fn, s)
 }
 
 // EdgeCounts returns a vertex's out- and in-degree from its header alone.

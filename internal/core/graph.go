@@ -74,11 +74,32 @@ type Graph struct {
 	store  *Store
 	tenant string
 	name   string
+	// Catalog keys are precomputed once per handle: the data plane
+	// resolves meta and type directories on every vertex read, and the
+	// per-call key concatenation was a measurable hot-path allocation.
+	gKey   string // graphKey(tenant, name)
+	dirKey string // type-directory cache key (tenant/name)
+}
+
+func newGraph(s *Store, tenant, graph string) *Graph {
+	return &Graph{
+		store:  s,
+		tenant: tenant,
+		name:   graph,
+		gKey:   graphKey(tenant, graph),
+		dirKey: tenant + "/" + graph,
+	}
+}
+
+// types returns the graph's cached type directory (id- and name-keyed
+// schema map) without rebuilding the cache key per call.
+func (g *Graph) types(c *fabric.Ctx) (*typeDirectory, error) {
+	return g.store.typeDirByKey(c, g.dirKey, g.tenant, g.name)
 }
 
 // OpenGraph returns a handle on an existing graph.
 func (s *Store) OpenGraph(c *fabric.Ctx, tenant, graph string) (*Graph, error) {
-	g := &Graph{store: s, tenant: tenant, name: graph}
+	g := newGraph(s, tenant, graph)
 	if _, err := g.meta(c); err != nil {
 		return nil, err
 	}
@@ -96,7 +117,7 @@ func (g *Graph) Store() *Store { return g.store }
 
 // meta resolves the graph metadata through the proxy cache.
 func (g *Graph) meta(c *fabric.Ctx) (*graphMeta, error) {
-	v, err := g.store.proxyGet(c, graphKey(g.tenant, g.name), func(raw []byte) (interface{}, error) {
+	v, err := g.store.proxyGet(c, g.gKey, func(raw []byte) (interface{}, error) {
 		return decodeGraphMeta(raw)
 	})
 	if err != nil {
@@ -119,6 +140,15 @@ func (g *Graph) requireActive(c *fabric.Ctx) (*graphMeta, error) {
 
 // vertexType resolves a vertex type proxy by name.
 func (g *Graph) vertexType(c *fabric.Ctx, name string) (*vertexTypeMeta, error) {
+	// Fast path: the type directory already holds every known type by
+	// name with the same TTL as the proxy cache, and costs no key
+	// allocation. A name it lacks may simply be newer than the cached
+	// directory, so misses fall through to the authoritative proxy read.
+	if dir, err := g.types(c); err == nil {
+		if m, ok := dir.vByName[name]; ok {
+			return m, nil
+		}
+	}
 	v, err := g.store.proxyGet(c, vtypeKey(g.tenant, g.name, name), func(raw []byte) (interface{}, error) {
 		return decodeVertexTypeMeta(raw)
 	})
@@ -133,6 +163,11 @@ func (g *Graph) vertexType(c *fabric.Ctx, name string) (*vertexTypeMeta, error) 
 
 // edgeType resolves an edge type proxy by name.
 func (g *Graph) edgeType(c *fabric.Ctx, name string) (*edgeTypeMeta, error) {
+	if dir, err := g.types(c); err == nil {
+		if m, ok := dir.eByName[name]; ok {
+			return m, nil
+		}
+	}
 	v, err := g.store.proxyGet(c, etypeKey(g.tenant, g.name, name), func(raw []byte) (interface{}, error) {
 		return decodeEdgeTypeMeta(raw)
 	})
@@ -272,6 +307,7 @@ func (g *Graph) CreateVertexType(c *fabric.Ctx, name string, schema *bond.Schema
 	if err == nil {
 		g.store.invalidateProxy(gkey)
 		g.store.invalidateProxy(key)
+		g.store.invalidateTypeDir(g.tenant, g.name)
 	}
 	return err
 }
@@ -310,6 +346,7 @@ func (g *Graph) CreateEdgeType(c *fabric.Ctx, name string, schema *bond.Schema) 
 	if err == nil {
 		g.store.invalidateProxy(gkey)
 		g.store.invalidateProxy(key)
+		g.store.invalidateTypeDir(g.tenant, g.name)
 	}
 	return err
 }

@@ -29,7 +29,13 @@ type typeDirCache struct {
 // typeDir returns the cached type directory for a graph, rebuilding it from
 // the catalog when the TTL lapses.
 func (s *Store) typeDir(c *fabric.Ctx, tenant, graph string) (*typeDirectory, error) {
-	cacheKey := tenant + "/" + graph
+	return s.typeDirByKey(c, tenant+"/"+graph, tenant, graph)
+}
+
+// typeDirByKey is typeDir with the cache key precomputed by the caller
+// (Graph handles build theirs once), keeping the per-read lookup
+// allocation-free.
+func (s *Store) typeDirByKey(c *fabric.Ctx, cacheKey, tenant, graph string) (*typeDirectory, error) {
 	cache := s.typeDirs[c.M]
 	now := c.Now()
 	cache.mu.Lock()

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"a1/internal/bond"
 	"a1/internal/fabric"
@@ -49,10 +50,20 @@ func (h *vertexHdr) encode(dst []byte) {
 }
 
 func decodeVertexHdr(b []byte) (*vertexHdr, error) {
-	if len(b) < vertexHdrSize {
-		return nil, fmt.Errorf("a1: short vertex header (%d bytes)", len(b))
+	h, err := decodeVertexHdrVal(b)
+	if err != nil {
+		return nil, err
 	}
-	return &vertexHdr{
+	return &h, nil
+}
+
+// decodeVertexHdrVal decodes by value: the read hot path decodes millions
+// of headers and must not heap-allocate one struct per vertex.
+func decodeVertexHdrVal(b []byte) (vertexHdr, error) {
+	if len(b) < vertexHdrSize {
+		return vertexHdr{}, fmt.Errorf("a1: short vertex header (%d bytes)", len(b))
+	}
+	return vertexHdr{
 		typeID:   binary.LittleEndian.Uint32(b[0:]),
 		flags:    binary.LittleEndian.Uint32(b[4:]),
 		data:     getPtr(b[8:]),
@@ -215,15 +226,30 @@ func (g *Graph) readHeader(tx *farm.Tx, vp VertexPtr) (*farm.ObjBuf, *vertexHdr,
 	return buf, hdr, nil
 }
 
-// ReadVertex materializes a vertex: header read plus data read — the two
-// consecutive RDMA reads of §3.2.
-func (g *Graph) ReadVertex(tx *farm.Tx, vp VertexPtr) (*Vertex, error) {
-	c := tx.Ctx()
-	_, hdr, err := g.readHeader(tx, vp)
+// readScratch is the reusable buffer pair for the two reads of one
+// vertex materialization. Decoding copies everything out of the buffers
+// (bond values own their strings and blobs), so the scratch never escapes
+// and one pair serves any number of sequential reads.
+type readScratch struct {
+	hdr  []byte
+	data []byte
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
+
+// readVertexWith materializes one vertex using a caller-resolved type
+// directory and scratch buffers — the batched and pooled read paths hoist
+// both out of their loops.
+func (g *Graph) readVertexWith(tx *farm.Tx, dir *typeDirectory, vp VertexPtr, s *readScratch) (*Vertex, error) {
+	hb, err := tx.ReadSizedInto(vp.Addr, vertexHdrSize, s.hdr)
 	if err != nil {
+		if err == farm.ErrNotFound {
+			return nil, ErrNotFound
+		}
 		return nil, err
 	}
-	dir, err := g.store.typeDir(c, g.tenant, g.name)
+	s.hdr = hb
+	hdr, err := decodeVertexHdrVal(hb)
 	if err != nil {
 		return nil, err
 	}
@@ -231,11 +257,12 @@ func (g *Graph) ReadVertex(tx *farm.Tx, vp VertexPtr) (*Vertex, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: vertex type id %d", ErrNoSuchType, hdr.typeID)
 	}
-	dataBuf, err := tx.Read(hdr.data)
+	db, err := tx.ReadSizedInto(hdr.data.Addr, hdr.data.Size, s.data)
 	if err != nil {
 		return nil, err
 	}
-	val, err := bond.UnmarshalStruct(vt.Schema, dataBuf.Data())
+	s.data = db
+	val, err := bond.UnmarshalStruct(vt.Schema, db)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +274,65 @@ func (g *Graph) ReadVertex(tx *farm.Tx, vp VertexPtr) (*Vertex, error) {
 		OutCount: int(hdr.outCount),
 		InCount:  int(hdr.inCount),
 	}, nil
+}
+
+// ReadVertex materializes a vertex: header read plus data read — the two
+// consecutive RDMA reads of §3.2.
+func (g *Graph) ReadVertex(tx *farm.Tx, vp VertexPtr) (*Vertex, error) {
+	dir, err := g.types(tx.Ctx())
+	if err != nil {
+		return nil, err
+	}
+	s := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(s)
+	return g.readVertexWith(tx, dir, vp, s)
+}
+
+// ReadVertices materializes a batch of vertices in one call: the type
+// directory is resolved once and the scratch buffers are reused across
+// the whole batch, so the per-vertex cost is the two object reads plus
+// the value decode. The result is parallel to vps; a vertex that has
+// vanished since its pointer was collected (concurrent delete) yields a
+// nil slot rather than failing the batch. Reads are sequential within
+// the transaction — the fabric-level win comes from the caller shipping
+// the batch to the owner first (execLevel's contract).
+func (g *Graph) ReadVertices(tx *farm.Tx, vps []VertexPtr) ([]*Vertex, error) {
+	out := make([]*Vertex, len(vps))
+	if len(vps) == 0 {
+		return out, nil
+	}
+	dir, err := g.types(tx.Ctx())
+	if err != nil {
+		return nil, err
+	}
+	s := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(s)
+	for i, vp := range vps {
+		v, err := g.readVertexWith(tx, dir, vp, s)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// VertexPKOf extracts the primary key of an already-materialized vertex
+// without any further object reads.
+func (g *Graph) VertexPKOf(c *fabric.Ctx, v *Vertex) (bond.Value, error) {
+	dir, err := g.types(c)
+	if err != nil {
+		return bond.Null, err
+	}
+	vt, ok := dir.vByID[v.TypeID]
+	if !ok {
+		return bond.Null, fmt.Errorf("%w: vertex type id %d", ErrNoSuchType, v.TypeID)
+	}
+	pk, _ := v.Data.Field(vt.PKField)
+	return pk, nil
 }
 
 // UpdateVertex replaces a vertex's attribute data. The primary key must not
@@ -494,11 +580,13 @@ func (g *Graph) freeEdgeData(tx *farm.Tx, p farm.Ptr, seen map[farm.Addr]bool) e
 
 // VertexPK returns a vertex's ⟨type name, primary key⟩ identity.
 func (g *Graph) VertexPK(tx *farm.Tx, vp VertexPtr) (string, bond.Value, error) {
-	v, err := g.ReadVertex(tx, vp)
+	dir, err := g.types(tx.Ctx())
 	if err != nil {
 		return "", bond.Null, err
 	}
-	dir, err := g.store.typeDir(tx.Ctx(), g.tenant, g.name)
+	s := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(s)
+	v, err := g.readVertexWith(tx, dir, vp, s)
 	if err != nil {
 		return "", bond.Null, err
 	}

@@ -146,14 +146,16 @@ type objectSnapshot struct {
 }
 
 // readObject copies the object at off. It returns an error for addresses
-// that do not point at a live allocation.
-func (r *Region) readObject(off uint32) (objectSnapshot, error) {
+// that do not point at a live allocation. A non-nil scratch slice donates
+// its backing array for the payload copy (the snapshot then aliases it),
+// letting decode-and-discard readers reuse one buffer across reads.
+func (r *Region) readObject(off uint32, scratch []byte) (objectSnapshot, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.readObjectLocked(off)
+	return r.readObjectLocked(off, scratch)
 }
 
-func (r *Region) readObjectLocked(off uint32) (objectSnapshot, error) {
+func (r *Region) readObjectLocked(off uint32, scratch []byte) (objectSnapshot, error) {
 	if !r.alloc.isLive(off) {
 		return objectSnapshot{}, fmt.Errorf("%w: %v", ErrBadAddr, MakeAddr(r.id, off))
 	}
@@ -161,9 +163,7 @@ func (r *Region) readObjectLocked(off uint32) (objectSnapshot, error) {
 		version: r.versionWord(off),
 		older:   r.older(off),
 	}
-	p := r.payload(off)
-	snap.data = make([]byte, len(p))
-	copy(snap.data, p)
+	snap.data = append(scratch[:0], r.payload(off)...)
 	return snap, nil
 }
 

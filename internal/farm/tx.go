@@ -255,7 +255,7 @@ func (tx *Tx) ReadSized(addr Addr, sizeHint uint32) (*ObjBuf, error) {
 			return b, nil
 		}
 	}
-	snap, err := tx.readVersioned(addr, sizeHint)
+	snap, err := tx.readVersioned(addr, sizeHint, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -277,14 +277,52 @@ func (tx *Tx) ReadSized(addr Addr, sizeHint uint32) (*ObjBuf, error) {
 	return buf, nil
 }
 
+// ReadSizedInto is ReadSized for decode-and-discard readers: the payload
+// is copied into scratch (reusing its backing array when large enough) and
+// returned without allocating an ObjBuf or registering the object in the
+// transaction's read cache. The returned slice aliases scratch's backing
+// array and is valid only until the next read that reuses it — callers
+// must decode out of it, never retain it. Only read-only transactions take
+// the zero-alloc path; update transactions fall back to the tracked
+// ReadSized so read-your-writes, repeatable reads, and commit-time
+// validation are preserved.
+func (tx *Tx) ReadSizedInto(addr Addr, sizeHint uint32, scratch []byte) ([]byte, error) {
+	if !tx.readOnly {
+		buf, err := tx.ReadSized(addr, sizeHint)
+		if err != nil {
+			return nil, err
+		}
+		// Copy out of the tracked buffer: the caller will reuse (and
+		// overwrite) the returned backing array, which must never alias
+		// an object the transaction still validates against at commit.
+		return append(scratch[:0], buf.data...), nil
+	}
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	if addr.IsNil() {
+		return nil, fmt.Errorf("%w: nil address", ErrBadAddr)
+	}
+	snap, err := tx.readVersioned(addr, sizeHint, scratch)
+	if err != nil {
+		return nil, err
+	}
+	if versionTombed(snap.version) {
+		return nil, ErrNotFound
+	}
+	return snap.data, nil
+}
+
 // lockRetryDelay is how long a reader backs off when it finds an object
 // locked by an in-flight commit; the pending commit may carry a timestamp
 // below the reader's snapshot, so the reader must wait for the outcome.
 const lockRetryDelay = 2 * time.Microsecond
 
 // readVersioned performs the snapshot read protocol against the region's
-// primary replica.
-func (tx *Tx) readVersioned(addr Addr, sizeHint uint32) (objectSnapshot, error) {
+// primary replica. A non-nil scratch donates its backing array for the
+// payload copy (see Region.readObject); pass nil when the snapshot must
+// own its bytes (tracked reads cached on the transaction).
+func (tx *Tx) readVersioned(addr Addr, sizeHint uint32, scratch []byte) (objectSnapshot, error) {
 	f := tx.farm
 	region := addr.Region()
 	off := addr.Offset()
@@ -310,7 +348,7 @@ func (tx *Tx) readVersioned(addr Addr, sizeHint uint32) (objectSnapshot, error) 
 			tx.c.Sleep(lockRetryDelay)
 			continue
 		}
-		snap, err := r.readObject(off)
+		snap, err := r.readObject(off, scratch)
 		if err != nil {
 			return objectSnapshot{}, err
 		}
@@ -342,7 +380,7 @@ func (tx *Tx) walkVersionChain(primary fabric.MachineID, r *Region, head objectS
 		if err := tx.c.ReadRemote(primary, int(p.Size)+hdrBytes); err != nil {
 			return objectSnapshot{}, err
 		}
-		rec, err := r.readObject(p.Addr.Offset())
+		rec, err := r.readObject(p.Addr.Offset(), nil)
 		if err != nil {
 			return objectSnapshot{}, fmt.Errorf("%w: version chain broken", ErrTooOld)
 		}

@@ -26,6 +26,7 @@ func All() []*analysis.Analyzer {
 		LockFabric,
 		LockOrder,
 		BatchReads,
+		MarshalSize,
 		Release,
 		ErrCode,
 	}

@@ -42,6 +42,12 @@ func TestBatchReads(t *testing.T) {
 		"a1/internal/exec", "a1/internal/hydra")
 }
 
+func TestMarshalSize(t *testing.T) {
+	needGo(t)
+	analysistest.Run(t, "testdata/marshalsize", lint.MarshalSize,
+		"a1/internal/query", "a1/internal/codec")
+}
+
 func TestLockOrder(t *testing.T) {
 	needGo(t)
 	analysistest.Run(t, "testdata/lockorder", lint.LockOrder,

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"a1/internal/lint/analysis"
+)
+
+// MarshalSize flags byte accounting done through throwaway encodings: the
+// hot-path allocation work gave bond zero-allocation sizing and in-place
+// appending (bond.MarshalSize, bond.AppendMarshal), so taking len() of a
+// fresh bond.Marshal buffer, or splicing one into another buffer with
+// append(b, bond.Marshal(v)...), allocates an encoding only to discard
+// it. Wire sizing (Row.wireBytes, group-state working-set charges) sits
+// on the per-row query path, where that garbage is exactly what the
+// allocs bench report is meant to keep out.
+//
+// The check is fact-driven: a helper whose every return is itself a fresh
+// bond.Marshal encoding (directly or through another such helper) carries
+// a fact, so len(helper(v)) and append(b, helper(v)...) are flagged with
+// the chain to the primitive named in the message. The bond package
+// itself is exempt — it implements the sizing primitives.
+var MarshalSize = &analysis.Analyzer{
+	Name: "a1/marshalsize",
+	Doc: "sizing or splicing a throwaway bond.Marshal buffer must use " +
+		"bond.MarshalSize / bond.AppendMarshal instead",
+	RunProgram: runMarshalSize,
+}
+
+// freshMarshalFact marks a function every return of which is a freshly
+// allocated bond.Marshal encoding; Chain names the call path down to the
+// primitive for diagnostics.
+type freshMarshalFact struct{ Chain string }
+
+func (*freshMarshalFact) AFact() {}
+
+func runMarshalSize(pass *analysis.Pass) error {
+	prog := pass.Program
+
+	// isMarshal classifies a direct call of the allocating encoder.
+	isMarshal := func(fn *types.Func) bool {
+		return funcPkgPath(fn) == bondPath && fn.Name() == "Marshal"
+	}
+
+	// freshCall resolves a call expression that returns a fresh Marshal
+	// encoding: the primitive itself, or a fact-carrying wrapper. The
+	// second result is the chain for the diagnostic.
+	freshCall := func(info *types.Info, e ast.Expr) (*types.Func, string, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, "", false
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return nil, "", false
+		}
+		if isMarshal(fn) {
+			return fn, "", true
+		}
+		var f freshMarshalFact
+		if funcPkgPath(fn) != bondPath && pass.ImportFact(fn, &f) {
+			return fn, f.Chain, true
+		}
+		return nil, "", false
+	}
+
+	// Bottom-up facts, to fixpoint so wrapper-of-wrapper chains resolve.
+	// A function is a fresh-Marshal source when it has at least one return
+	// and every return's single result is a fresh-Marshal call. Returns
+	// inside nested function literals belong to the literal, not the
+	// declaration, and are skipped.
+	for changed := true; changed; {
+		changed = false
+		for _, pkg := range prog.Packages {
+			if pkg.Path == bondPath {
+				continue
+			}
+			info := pkg.TypesInfo
+			eachFunc(pkg, func(name string, decl ast.Node, body *ast.BlockStmt) {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					return
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if fn == nil || !ok || pass.HasFact(fn, &freshMarshalFact{}) {
+					return
+				}
+				chain, fresh := "", false
+				for _, ret := range ownReturns(body) {
+					if len(ret.Results) != 1 {
+						return
+					}
+					callee, sub, ok := freshCall(info, ret.Results[0])
+					if !ok {
+						return
+					}
+					fresh = true
+					chain = calleeLabel(callee)
+					if sub != "" {
+						chain = callee.Name() + " → " + sub
+					}
+				}
+				if fresh {
+					pass.ExportFact(fn, &freshMarshalFact{Chain: chain})
+					changed = true
+				}
+			})
+		}
+	}
+
+	// Report: len() and append(..., x...) over fresh encodings.
+	for _, pkg := range prog.Packages {
+		if pkg.Path == bondPath {
+			continue
+		}
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || info.Uses[id] != types.Universe.Lookup(id.Name) {
+					return true
+				}
+				switch {
+				case id.Name == "len" && len(call.Args) == 1:
+					fn, chain, ok := freshCall(info, call.Args[0])
+					if !ok {
+						return true
+					}
+					if chain == "" {
+						pass.Reportf(call.Pos(),
+							"len(bond.Marshal(v)) allocates an encoding only to measure it; "+
+								"use bond.MarshalSize(v)")
+					} else {
+						pass.Reportf(call.Pos(),
+							"len() of a fresh encoding from %s (%s → %s) allocates it only to "+
+								"measure it; size with bond.MarshalSize instead",
+							fn.Name(), fn.Name(), chain)
+					}
+				case id.Name == "append" && call.Ellipsis.IsValid() && len(call.Args) == 2:
+					fn, chain, ok := freshCall(info, call.Args[1])
+					if !ok {
+						return true
+					}
+					if chain == "" {
+						pass.Reportf(call.Pos(),
+							"append(b, bond.Marshal(v)...) allocates an intermediate encoding; "+
+								"use b = bond.AppendMarshal(b, v)")
+					} else {
+						pass.Reportf(call.Pos(),
+							"append of a fresh encoding from %s (%s → %s) allocates an "+
+								"intermediate buffer; encode in place with bond.AppendMarshal",
+							fn.Name(), fn.Name(), chain)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// ownReturns collects the return statements belonging to the function
+// body itself, excluding those inside nested function literals.
+func ownReturns(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,13 @@
+// Stub of the real a1/internal/bond sizing surface.
+package bond
+
+type Value struct {
+	kind byte
+	num  uint64
+}
+
+func Marshal(v Value) []byte { return []byte{v.kind} }
+
+func MarshalSize(v Value) int { return 1 }
+
+func AppendMarshal(b []byte, v Value) []byte { return append(b, v.kind) }

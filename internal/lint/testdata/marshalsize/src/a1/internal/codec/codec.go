@@ -1,0 +1,25 @@
+// Cross-package helpers for the a1/marshalsize fixtures: fresh-encoding
+// wrappers whose callers are caught through the facts layer.
+package codec
+
+import "a1/internal/bond"
+
+// Encode returns a fresh Marshal buffer; len(Encode(v)) in any caller is
+// a throwaway encoding.
+func Encode(v bond.Value) []byte {
+	return bond.Marshal(v)
+}
+
+// EncodeDeep wraps the wrapper; the chain in the diagnostic names both.
+func EncodeDeep(v bond.Value) []byte {
+	return Encode(v)
+}
+
+// Frame prefixes the payload, so its buffer is not a bare encoding: it
+// must NOT carry the fresh-Marshal fact (the prefix byte would be lost if
+// a caller swapped len(Frame(v)) for bond.MarshalSize(v)).
+func Frame(v bond.Value) []byte {
+	out := []byte{0xFE}
+	//lint:ignore a1/marshalsize the intermediate buffer is the stub's point: Frame models a helper that post-processes the encoding
+	return append(out, bond.Marshal(v)...)
+}

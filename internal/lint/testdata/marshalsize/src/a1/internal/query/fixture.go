@@ -1,0 +1,80 @@
+// Fixture for a1/marshalsize: sizing or splicing a throwaway
+// bond.Marshal buffer must use the zero-allocation bond primitives.
+package query
+
+import (
+	"a1/internal/bond"
+	"a1/internal/codec"
+)
+
+// Bad: the encoding is allocated only to be measured.
+func RowBytes(vals []bond.Value) int {
+	n := 0
+	for _, v := range vals {
+		n += len(bond.Marshal(v)) // want `allocates an encoding only to measure it; use bond.MarshalSize`
+	}
+	return n
+}
+
+// Bad: the intermediate buffer is copied into b and dropped.
+func EncodeKey(b []byte, v bond.Value) []byte {
+	b = append(b, 0xFE)
+	return append(b, bond.Marshal(v)...) // want `allocates an intermediate encoding`
+}
+
+// Good: the conversions the analyzer asks for.
+func RowBytesSized(vals []bond.Value) int {
+	n := 0
+	for _, v := range vals {
+		n += bond.MarshalSize(v)
+	}
+	return n
+}
+
+func EncodeKeyInPlace(b []byte, v bond.Value) []byte {
+	b = append(b, 0xFE)
+	return bond.AppendMarshal(b, v)
+}
+
+// Good: the buffer is used as bytes, not just measured.
+func Store(v bond.Value) []byte {
+	buf := bond.Marshal(v)
+	if len(buf) > 1<<20 {
+		return nil
+	}
+	return buf
+}
+
+// Bad (fact-driven): the fresh encoding hides one call below, in another
+// package.
+func WireBytes(v bond.Value) int {
+	return len(codec.Encode(v)) // want `Encode → bond.Marshal`
+}
+
+// Bad (fact-driven): two wrapper hops; the chain names the whole path.
+func WireBytesDeep(v bond.Value) int {
+	return len(codec.EncodeDeep(v)) // want `EncodeDeep → Encode → bond.Marshal`
+}
+
+// Bad (fact-driven): a package-local wrapper is caught the same way, and
+// splicing its result is the append form of the finding.
+func enc(v bond.Value) []byte {
+	return bond.Marshal(v)
+}
+
+func Splice(b []byte, v bond.Value) []byte {
+	return append(b, enc(v)...) // want `enc → bond.Marshal`
+}
+
+// Good: Frame post-processes its encoding (length prefix), so it carries
+// no fresh-Marshal fact and measuring it is legitimate.
+func FramedBytes(v bond.Value) int {
+	return len(codec.Frame(v))
+}
+
+// Suppressed: a justified //lint:ignore silences the finding, so no want
+// comment here.
+func LoggedBytes(v bond.Value) int {
+	//lint:ignore a1/marshalsize cold path: executed once per schema migration, clarity over allocation
+	return len(bond.Marshal(v))
+}

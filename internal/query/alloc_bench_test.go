@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/farm"
+)
+
+// Microbenchmarks for the hot-path shaping helpers, each run with the
+// shared buffer pool and with pooling disabled (nil *execBufs) so
+// allocs/op shows exactly what the pool buys. These complement the
+// end-to-end alloc benchmarks at the repo root (BenchmarkAllocZipf*),
+// which measure whole queries through the fabric; here each helper is
+// isolated at its own call granularity.
+
+var benchSchema = bond.MustSchema("product",
+	bond.FReq(0, "id", bond.TString),
+	bond.F(1, "category", bond.TString),
+	bond.F(2, "score", bond.TInt64),
+)
+
+func benchPath(tb testing.TB, s string) FieldPath {
+	tb.Helper()
+	fp, err := parseFieldPath(s)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fp
+}
+
+func benchData(n int) []bond.Value {
+	out := make([]bond.Value, n)
+	for i := range out {
+		out[i] = bond.Struct(
+			bond.FV(0, bond.String(fmt.Sprintf("p%04d", i))),
+			bond.FV(1, bond.String([]string{"hot", "warm", "cold"}[i%3])),
+			bond.FV(2, bond.Int64(int64((i*7919)%n))),
+		)
+	}
+	return out
+}
+
+// eachBufs runs the benchmark body under both pooling modes.
+func eachBufs(b *testing.B, run func(b *testing.B, bufs *execBufs)) {
+	b.Run("pooled", func(b *testing.B) { run(b, sharedBufs) })
+	b.Run("unpooled", func(b *testing.B) { run(b, nil) })
+}
+
+// BenchmarkAllocNewRow builds one projected, keyed row and releases it —
+// the per-vertex cost of a terminal worker batch.
+func BenchmarkAllocNewRow(b *testing.B) {
+	pat := &VertexPattern{
+		Selects: []FieldPath{benchPath(b, "id"), benchPath(b, "category")},
+		Orders:  []OrderBy{{Path: benchPath(b, "score"), Desc: true}},
+	}
+	data := benchData(1)[0]
+	vp := core.VertexPtr{Addr: farm.Addr(42), Size: 64}
+	eachBufs(b, func(b *testing.B, bufs *execBufs) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			row := newRow(bufs, vp, data, pat, benchSchema)
+			bufs.releaseRow(&row)
+		}
+	})
+}
+
+// BenchmarkAllocTopKBatch is a worker's orderby+limit batch: build rows
+// for a frontier slice, sort, prune to the top k, ship (here: release).
+func BenchmarkAllocTopKBatch(b *testing.B) {
+	const batch, k = 256, 16
+	pat := &VertexPattern{Orders: []OrderBy{{Path: benchPath(b, "score"), Desc: true}}}
+	data := benchData(batch)
+	eachBufs(b, func(b *testing.B, bufs *execBufs) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows := bufs.getRows()
+			for j, d := range data {
+				rows = append(rows, newRow(bufs, core.VertexPtr{Addr: farm.Addr(j)}, d, pat, benchSchema))
+			}
+			rows = topK(bufs, rows, pat.Orders, k)
+			bufs.releaseRows(rows)
+			bufs.putRows(rows)
+		}
+	})
+}
+
+// BenchmarkAllocMergeSortedRows is the coordinator's k-way merge over
+// per-machine ordered partials.
+func BenchmarkAllocMergeSortedRows(b *testing.B) {
+	const machines, perList, k = 8, 32, 16
+	pat := &VertexPattern{Orders: []OrderBy{{Path: benchPath(b, "score")}}}
+	data := benchData(machines * perList)
+	eachBufs(b, func(b *testing.B, bufs *execBufs) {
+		lists := make([][]Row, machines)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for m := range lists {
+				rows := bufs.getRows()
+				for j := 0; j < perList; j++ {
+					d := data[m*perList+j]
+					rows = append(rows, newRow(bufs, core.VertexPtr{Addr: farm.Addr(m*perList + j)}, d, pat, benchSchema))
+				}
+				sortRows(rows, pat.Orders)
+				lists[m] = rows
+			}
+			out := mergeSortedRows(bufs, lists, pat.Orders, k)
+			bufs.releaseRows(out)
+			for m := range lists {
+				bufs.putRows(lists[m])
+				lists[m] = nil
+			}
+		}
+	})
+}
+
+// BenchmarkAllocAccumGroup is the grouped-aggregate inner loop in its
+// steady state: every vertex hits an existing group, which must cost
+// zero allocations (the group key is encoded into the reused scratch and
+// looked up without materializing a string).
+func BenchmarkAllocAccumGroup(b *testing.B) {
+	by := []FieldPath{benchPath(b, "category")}
+	aggs := []Aggregate{
+		{Kind: AggCount, Raw: "_count(*)"},
+		{Kind: AggSum, Path: benchPath(b, "score"), Raw: "_sum(score)"},
+	}
+	data := benchData(64)
+	groups := make(map[string]*groupState)
+	var scratch []byte
+	for _, d := range data { // materialize every group before measuring
+		scratch = accumGroup(groups, by, aggs, d, benchSchema, scratch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = accumGroup(groups, by, aggs, data[i%len(data)], benchSchema, scratch)
+	}
+}

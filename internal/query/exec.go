@@ -51,6 +51,11 @@ type Config struct {
 	// IndexFilter budget uses the structural formula — the pre-statistics
 	// planner, kept as an ablation and benchmark baseline.
 	StructuralPlanner bool
+	// NoPooling disables the executor's buffer reuse (frontier slices,
+	// row batches, value maps, sort keys, dedup sets): every query
+	// allocates fresh memory. Ablation knob for the allocs bench report
+	// and for bisecting suspected recycle-too-early bugs.
+	NoPooling bool
 
 	// CPU cost model for the simulated fabric (no-ops in Direct mode).
 	CostParse      time.Duration // coordinator: parse + plan
@@ -243,6 +248,9 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 		pc:      newPlanContext(qc, e, g),
 		targets: map[*EdgePattern]core.VertexPtr{},
 	}
+	if !e.cfg.NoPooling {
+		st.bufs = sharedBufs
+	}
 	tp := pats[len(pats)-1]
 	tl := pl.Levels[len(pl.Levels)-1]
 	if tp.Limit > 0 && len(tp.Aggs) == 0 {
@@ -316,6 +324,7 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 							st.stats.IndexFiltered += int64(dropped)
 							st.mu.Unlock()
 						}
+						st.bufs.putAddrSet(st.member)
 						st.member = nil
 						st.stats.Hops++
 						// The terminal level reports the operator that ran
@@ -330,20 +339,21 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 				}
 			}
 			out, err := st.execLevel(qc, frontier, pat, lp)
+			st.bufs.putAddrSet(st.member)
 			st.member = nil
 			if err != nil {
 				return nil, err
 			}
 			st.stats.Hops++
 			if lp.Terminal {
-				rows = dedupRows(out.rows)
+				rows = dedupRows(st.bufs, out.rows)
 				aggStates = out.aggs
 				groups = out.groups
 				break
 			}
 			// Aggregate replies: dedup and repartition by pointer (§3.4).
 			qc.Work(time.Duration(len(out.next)) * e.cfg.CostMerge)
-			frontier = dedupPtrs(out.next)
+			frontier = dedupPtrs(st.bufs, out.next)
 			st.setActRows(level+1, len(frontier))
 			working += len(frontier)
 			if working > e.cfg.MaxWorkingSet {
@@ -457,6 +467,10 @@ type execState struct {
 	rowTarget int64        // unordered _limit: stop producing rows at this count (0 = off)
 	rowsOut   atomic.Int64 // rows produced across all batches
 	keep      int          // _orderby+_limit: per-batch/merge top-K retention (0 = all)
+
+	// bufs is the executor's buffer pool handle (pool.go); nil when
+	// Config.NoPooling, and every use degrades to a fresh allocation.
+	bufs *execBufs
 
 	// member, when non-nil, is the current level's index-membership filter:
 	// frontier vertices outside it are dropped before any read. Set by the
@@ -798,6 +812,7 @@ func (st *execState) orderedScan(qc *fabric.Ctx, tx *farm.Tx, pat *VertexPattern
 	// trim the boundary tie-run overshoot.
 	sortRows(rows, pat.Orders)
 	if len(rows) > target {
+		st.bufs.releaseRows(rows[target:])
 		rows = rows[:target]
 	}
 	// The index holds no entry for vertices whose order field is null or
@@ -837,6 +852,7 @@ func (st *execState) orderedScan(qc *fabric.Ctx, tx *farm.Tx, pat *VertexPattern
 		}
 		sortRows(tail, pat.Orders) // keyless: stable address order
 		if len(tail) > target-len(rows) {
+			st.bufs.releaseRows(tail[target-len(rows):])
 			tail = tail[:target-len(rows)]
 		}
 		rows = append(rows, tail...)
@@ -871,10 +887,12 @@ func (st *execState) execOrderedTraverse(qc *fabric.Ctx, frontier []core.VertexP
 		if err != nil {
 			return nil, false, err
 		}
-		if _, ok := groups[m]; !ok {
+		s, ok := groups[m]
+		if !ok {
 			order = append(order, m)
+			s = st.bufs.getPtrs()
 		}
-		groups[m] = append(groups[m], vp)
+		groups[m] = append(s, vp)
 	}
 	lists := make([][]Row, len(order))
 	var mu sync.Mutex
@@ -888,6 +906,7 @@ func (st *execState) execOrderedTraverse(qc *fabric.Ctx, frontier []core.VertexP
 		var served bool
 		var err error
 		var rb int
+		defer st.bufs.putPtrs(batch)
 		if ship {
 			reqBytes := len(batch)*ptrWireBytes + 128
 			err = cc.RPC(m, reqBytes, func(sc *fabric.Ctx) (int, error) {
@@ -930,8 +949,13 @@ func (st *execState) execOrderedTraverse(qc *fabric.Ctx, frontier []core.VertexP
 	if notServed {
 		return nil, false, nil
 	}
-	merged := mergeSortedRows(lists, pat.Orders, target)
+	merged := mergeSortedRows(st.bufs, lists, pat.Orders, target)
 	qc.Work(time.Duration(len(merged)) * st.engine.cfg.CostMerge)
+	// Per-machine list slices are dead once merged (their kept rows were
+	// copied into merged); recycle the headers.
+	for i := range lists {
+		st.bufs.putRows(lists[i])
+	}
 	return merged, true, nil
 }
 
@@ -954,7 +978,8 @@ func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, p
 	if err != nil {
 		return nil, false, nil // unknown type: the fallback surfaces the error
 	}
-	members := make(map[farm.Addr]bool, len(batch))
+	members := st.bufs.getAddrSet()
+	defer st.bufs.putAddrSet(members)
 	for _, vp := range batch {
 		members[vp.Addr] = true
 	}
@@ -981,7 +1006,8 @@ func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, p
 	var rows []Row
 	var lastAttr []byte
 	var innerErr error
-	seen := make(map[farm.Addr]bool, len(batch))
+	seen := st.bufs.getAddrSet()
+	defer st.bufs.putAddrSet(seen)
 	stopped := false
 	walked, err := g.IndexMemberScanDir(tx, pat.Type, otp.Field, lo, loInc, hi, hiInc, otp.Desc, members, func(attrKey []byte, vp core.VertexPtr) bool {
 		// Past the target, only key-ties with the boundary row still matter
@@ -1021,6 +1047,7 @@ func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, p
 	// trim the boundary tie-run overshoot.
 	sortRows(rows, pat.Orders)
 	if len(rows) > target {
+		st.bufs.releaseRows(rows[target:])
 		rows = rows[:target]
 	}
 	// Keyless top-up: when the walk exhausted the index (never stopped
@@ -1038,23 +1065,42 @@ func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, p
 		}
 	}
 	if needTail {
-		var tail []Row
+		// The unseen members live on this machine (the batch is the
+		// owner's slice of the frontier); read them in one multi-vertex
+		// pass instead of per-ID round trips through the read stack.
+		unseen := st.bufs.getPtrs()
+		defer st.bufs.putPtrs(unseen)
 		for _, vp := range batch {
-			if seen[vp.Addr] {
-				continue
+			if !seen[vp.Addr] {
+				unseen = append(unseen, vp)
 			}
-			//lint:ignore a1/batchreads machine-local batch: orderedMemberScan runs owner-side on a PrimaryOf-partitioned batch, so the read below this helper never leaves the machine
-			row, ok, err := st.buildTerminalRow(sc, tx, vp, pat)
+		}
+		vtxs, err := g.ReadVertices(tx, unseen)
+		if err != nil {
+			return nil, true, err
+		}
+		var tail []Row
+		for i, vp := range unseen {
+			if vtxs[i] == nil {
+				continue // deleted since the frontier was built
+			}
+			//lint:ignore a1/batchreads machine-local batch: the vertex payloads were batch-read by ReadVertices above; only _match subtree reads remain below this helper, owner-side on a PrimaryOf-partitioned batch
+			row, ok, err := st.buildRowFrom(sc, tx, vp, vtxs[i], pat)
 			if err != nil {
 				return nil, true, err
 			}
-			if !ok || (len(row.keys) > 0 && row.keys[0].ok) {
+			if !ok {
+				continue
+			}
+			if len(row.keys) > 0 && row.keys[0].ok {
+				st.bufs.releaseRow(&row)
 				continue // keyed rows already came off the index
 			}
 			tail = append(tail, row)
 		}
 		sortRows(tail, pat.Orders) // keyless: stable address order
 		if len(tail) > target-len(rows) {
+			st.bufs.releaseRows(tail[target-len(rows):])
 			tail = tail[:target-len(rows)]
 		}
 		rows = append(rows, tail...)
@@ -1066,15 +1112,22 @@ func (st *execState) orderedMemberScan(sc *fabric.Ctx, batch []core.VertexPtr, p
 // level's residual filters (type, predicates, _match), and materializes
 // its row with projections and sort keys.
 func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, pat *VertexPattern) (Row, bool, error) {
-	g := st.graph
-	e := st.engine
-	v, err := g.ReadVertex(tx, vp)
+	v, err := st.graph.ReadVertex(tx, vp)
 	if errors.Is(err, core.ErrNotFound) {
 		return Row{}, false, nil
 	}
 	if err != nil {
 		return Row{}, false, err
 	}
+	return st.buildRowFrom(sc, tx, vp, v, pat)
+}
+
+// buildRowFrom is buildTerminalRow for a vertex already in hand (batched
+// readers fetch payloads through ReadVertices first): residual filters,
+// then row materialization.
+func (st *execState) buildRowFrom(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr, v *core.Vertex, pat *VertexPattern) (Row, bool, error) {
+	g := st.graph
+	e := st.engine
 	sc.Work(e.cfg.CostVertexRead)
 	st.addVertexRead()
 	if pat.Type != "" && v.TypeName != pat.Type {
@@ -1099,7 +1152,7 @@ func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.Verte
 			return Row{}, false, nil
 		}
 	}
-	return newRow(vp, v.Data, pat, schema), true, nil
+	return newRow(st.bufs, vp, v.Data, pat, schema), true, nil
 }
 
 // newRow materializes one terminal row from a vertex's pre-shape data.
@@ -1109,10 +1162,10 @@ func (st *execState) buildTerminalRow(sc *fabric.Ctx, tx *farm.Tx, vp core.Verte
 // otherwise compare as a zero value). Every row producer — worker batches,
 // ordered scans, ordered traversals — funnels through here so the sort
 // fallback and the index-order paths agree byte for byte.
-func newRow(vp core.VertexPtr, data bond.Value, pat *VertexPattern, schema *bond.Schema) Row {
+func newRow(bufs *execBufs, vp core.VertexPtr, data bond.Value, pat *VertexPattern, schema *bond.Schema) Row {
 	row := Row{Vertex: vp}
 	if len(pat.Selects) > 0 {
-		row.Values = make(map[string]bond.Value, len(pat.Selects))
+		row.Values = bufs.getValues(len(pat.Selects))
 		for _, sel := range pat.Selects {
 			if val, ok := resolvePath(data, sel, schema); ok {
 				row.Values[sel.Raw] = val
@@ -1120,7 +1173,7 @@ func newRow(vp core.VertexPtr, data bond.Value, pat *VertexPattern, schema *bond
 		}
 	}
 	if len(pat.Orders) > 0 {
-		row.keys = make([]sortKey, len(pat.Orders))
+		row.keys = bufs.getKeys(len(pat.Orders))
 		for i, ob := range pat.Orders {
 			val, ok := resolvePath(data, ob.Path, schema)
 			row.keys[i] = sortKey{val: val, ok: ok}
@@ -1153,7 +1206,7 @@ func (st *execState) buildMemberFilter(qc *fabric.Ctx, tx *farm.Tx, pat *VertexP
 		budget = int(2*est) + 64
 	}
 	collect := func(scan func(fn func(vp core.VertexPtr) bool) error) (map[farm.Addr]bool, bool, error) {
-		member := make(map[farm.Addr]bool)
+		member := st.bufs.getAddrSet()
 		overflow := false
 		err := scan(func(vp core.VertexPtr) bool {
 			member[vp.Addr] = true
@@ -1163,10 +1216,11 @@ func (st *execState) buildMemberFilter(qc *fabric.Ctx, tx *farm.Tx, pat *VertexP
 			}
 			return true
 		})
-		if err != nil {
+		if err != nil || overflow {
+			st.bufs.putAddrSet(member)
 			return nil, false, err
 		}
-		return member, !overflow, nil
+		return member, true, nil
 	}
 	for _, pi := range ifp.EqPreds {
 		p := pat.Preds[pi]
@@ -1231,11 +1285,11 @@ const ptrWireBytes = 12
 func (r *Row) wireBytes() int {
 	n := ptrWireBytes
 	for k, v := range r.Values {
-		n += len(k) + len(bond.Marshal(v))
+		n += len(k) + bond.MarshalSize(v)
 	}
 	for _, sk := range r.keys {
 		if sk.ok {
-			n += len(bond.Marshal(sk.val))
+			n += bond.MarshalSize(sk.val)
 		}
 	}
 	return n
@@ -1246,7 +1300,7 @@ func (r *Row) wireBytes() int {
 func (a *aggState) wireBytes() int {
 	n := 17
 	if a.seenMM {
-		n += len(bond.Marshal(a.mm))
+		n += bond.MarshalSize(a.mm)
 	}
 	return n
 }
@@ -1291,10 +1345,12 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, pat *V
 		if err != nil {
 			return nil, err
 		}
-		if _, ok := groups[m]; !ok {
+		s, ok := groups[m]
+		if !ok {
 			order = append(order, m)
+			s = st.bufs.getPtrs()
 		}
-		groups[m] = append(groups[m], vp)
+		groups[m] = append(s, vp)
 	}
 	merged := &levelOutput{}
 	var mu sync.Mutex
@@ -1335,6 +1391,10 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, pat *V
 		}
 		merged.next = append(merged.next, out.next...)
 		merged.rows = append(merged.rows, out.rows...)
+		// The batch's slices were copied out by the appends above; only
+		// the slice headers die here, never the rows' own buffers.
+		st.bufs.putPtrs(out.next)
+		st.bufs.putRows(out.rows)
 		if out.aggs != nil {
 			if merged.aggs == nil {
 				merged.aggs = make([]aggState, len(pat.Aggs))
@@ -1349,9 +1409,14 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, pat *V
 		}
 		// Ordered-limit merge: never hold more than the top K(+skip) rows.
 		if lp.Terminal && st.keep > 0 && len(merged.rows) > 2*st.keep {
-			merged.rows = topK(merged.rows, pat.Orders, st.keep)
+			merged.rows = topK(st.bufs, merged.rows, pat.Orders, st.keep)
 		}
 	})
+	// Every batch finished; the per-machine frontier slices (values already
+	// copied into each batch's output) go back to the pool.
+	for _, m := range order {
+		st.bufs.putPtrs(groups[m])
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -1391,29 +1456,53 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 	}
 	buildRows := terminal && !grouped && (len(pat.Selects) > 0 || len(pat.Aggs) == 0)
 	needData := terminal || len(pat.Preds) > 0 || len(pat.Selects) > 0 || pat.Type != ""
+	if !terminal {
+		out.next = st.bufs.getPtrs()
+	} else if buildRows {
+		out.rows = st.bufs.getRows()
+	}
+	// Index-membership filter (traversal-level pushdown): drop frontier
+	// vertices outside the indexed predicate's match set before any read.
+	work := batch
+	if st.member != nil {
+		filtered := st.bufs.getPtrs()
+		for _, vp := range batch {
+			if !st.member[vp.Addr] {
+				st.addIndexFiltered()
+				continue
+			}
+			filtered = append(filtered, vp)
+		}
+		work = filtered
+		defer st.bufs.putPtrs(filtered)
+	}
 	var schema *bond.Schema
-	for _, vp := range batch {
+	var gkScratch []byte
+	// Vertex payloads arrive through core.ReadVertices in bounded chunks:
+	// one type-directory resolve and one scratch buffer per chunk instead
+	// of per vertex. The chunk bound keeps the unordered-_limit
+	// short-circuit able to stop after at most readChunk extra reads.
+	const readChunk = 256
+	var vtxs []*core.Vertex
+	for i, vp := range work {
 		// Unordered _limit short-circuit: once enough rows exist anywhere
 		// in the cluster, stop reading vertices.
 		if terminal && st.rowTarget > 0 && st.rowsOut.Load() >= st.rowTarget {
 			break
 		}
-		// Index-membership filter (traversal-level pushdown): drop frontier
-		// vertices outside the indexed predicate's match set before any
-		// read.
-		if st.member != nil && !st.member[vp.Addr] {
-			st.addIndexFiltered()
-			continue
-		}
 		var vtx *core.Vertex
 		if needData {
-			//lint:ignore a1/batchreads machine-local batch: execLevel partitions the frontier by PrimaryOf and ships this loop to the owner (stragglers below ShipThreshold stay on the coordinator by the cost model's own choice)
-			v, err := g.ReadVertex(tx, vp)
-			if errors.Is(err, core.ErrNotFound) {
-				continue
+			if i%readChunk == 0 {
+				end := min(i+readChunk, len(work))
+				var err error
+				vtxs, err = g.ReadVertices(tx, work[i:end])
+				if err != nil {
+					return nil, err
+				}
 			}
-			if err != nil {
-				return nil, err
+			v := vtxs[i%readChunk]
+			if v == nil { // deleted since the frontier was built
+				continue
 			}
 			vtx = v
 			sc.Work(e.cfg.CostVertexRead)
@@ -1448,7 +1537,7 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 		if terminal {
 			if grouped {
 				if vtx != nil {
-					accumGroup(out.groups, pat.GroupBy, pat.Aggs, vtx.Data, schema)
+					gkScratch = accumGroup(out.groups, pat.GroupBy, pat.Aggs, vtx.Data, schema, gkScratch)
 				}
 				continue
 			}
@@ -1462,14 +1551,14 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 			}
 			row := Row{Vertex: vp}
 			if vtx != nil {
-				row = newRow(vp, vtx.Data, pat, schema)
+				row = newRow(st.bufs, vp, vtx.Data, pat, schema)
 			}
 			out.rows = append(out.rows, row)
 			st.rowsOut.Add(1)
 			// Ordered-limit pruning: keep this batch's working set at the
 			// top K(+skip) so large frontiers never ship large replies.
 			if st.keep > 0 && len(out.rows) >= 2*st.keep {
-				out.rows = topK(out.rows, pat.Orders, st.keep)
+				out.rows = topK(st.bufs, out.rows, pat.Orders, st.keep)
 			}
 			continue
 		}
@@ -1479,9 +1568,10 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 			return nil, err
 		}
 		out.next = append(out.next, next...)
+		st.bufs.putPtrs(next)
 	}
 	if terminal && st.keep > 0 && len(out.rows) > st.keep {
-		out.rows = topK(out.rows, pat.Orders, st.keep)
+		out.rows = topK(st.bufs, out.rows, pat.Orders, st.keep)
 	}
 	return out, nil
 }
@@ -1503,7 +1593,7 @@ func (st *execState) traverseEdge(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr
 		}
 		edgeSchema = s
 	}
-	var next []core.VertexPtr
+	next := st.bufs.getPtrs()
 	var innerErr error
 	err := g.EnumerateEdges(tx, vp, dir, ep.Type, func(he core.HalfEdge) bool {
 		st.addEdgeVisited()
@@ -1611,11 +1701,12 @@ func (st *execState) matchVertex(sc *fabric.Ctx, tx *farm.Tx, vp core.VertexPtr,
 			return false, err
 		}
 		if pat.ID != "" {
-			typeName, pk, err := g.VertexPK(tx, vp)
+			// The vertex is already in hand; resolve its primary key from
+			// the type directory instead of re-reading it.
+			pk, err := g.VertexPKOf(sc, v)
 			if err != nil {
 				return false, err
 			}
-			_ = typeName
 			if pk.AsString() != pat.ID {
 				return false, nil
 			}
@@ -1654,8 +1745,9 @@ func (st *execState) addIndexFiltered() {
 	st.mu.Unlock()
 }
 
-func dedupPtrs(ptrs []core.VertexPtr) []core.VertexPtr {
-	seen := make(map[farm.Addr]bool, len(ptrs))
+func dedupPtrs(bufs *execBufs, ptrs []core.VertexPtr) []core.VertexPtr {
+	seen := bufs.getAddrSet()
+	defer bufs.putAddrSet(seen)
 	out := ptrs[:0]
 	for _, p := range ptrs {
 		if seen[p.Addr] {
@@ -1667,15 +1759,20 @@ func dedupPtrs(ptrs []core.VertexPtr) []core.VertexPtr {
 	return out
 }
 
-func dedupRows(rows []Row) []Row {
-	seen := make(map[farm.Addr]bool, len(rows))
+// dedupRows compacts duplicate vertices out of the terminal row list.
+// Dropped duplicates are released back to the pool: each was built by its
+// own newRow call, so its buffers have no other referent.
+func dedupRows(bufs *execBufs, rows []Row) []Row {
+	seen := bufs.getAddrSet()
+	defer bufs.putAddrSet(seen)
 	out := rows[:0]
-	for _, r := range rows {
-		if seen[r.Vertex.Addr] {
+	for i := range rows {
+		if seen[rows[i].Vertex.Addr] {
+			bufs.releaseRow(&rows[i])
 			continue
 		}
-		seen[r.Vertex.Addr] = true
-		out = append(out, r)
+		seen[rows[i].Vertex.Addr] = true
+		out = append(out, rows[i])
 	}
 	return out
 }

@@ -1,0 +1,151 @@
+package query
+
+import (
+	"sync"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/farm"
+)
+
+// Hot-path buffer pooling. One query allocates frontier slices, row
+// batches, projection maps, sort-key slices, and address sets in
+// proportion to the vertices it touches, then drops all of them at the
+// next hop or prune; the pools below recirculate those buffers across
+// hops and across queries instead of leaving them to the collector.
+//
+// Ownership discipline — the only rule that keeps this safe:
+//
+//   - A buffer is recycled ONLY at a point where it provably has no other
+//     referent: a worker's local top-K prune, the coordinator merge's
+//     prune, a batch slice whose Row/VertexPtr values were already copied
+//     out by append, or a scratch set that never left its function.
+//   - Rows that escape — into a Result page, the continuation cache, or a
+//     merged list that will become either — are never released. The pool
+//     simply does not get those buffers back; the collector does.
+//
+// Config.NoPooling leaves execState.bufs nil; every method below treats a
+// nil receiver as "allocate fresh / do nothing", which restores the
+// pre-pooling allocation behavior exactly (the allocs bench report's
+// ablation column).
+
+type execBufs struct{}
+
+// sharedBufs is the process-wide marker handed to every pooling query;
+// the backing sync.Pools are package-level, so buffers recirculate across
+// queries and across the machines of a Direct-mode cluster.
+var sharedBufs = &execBufs{}
+
+// maxPooledCap bounds what the pools retain: a pathological query's huge
+// frontier or row batch should not stay pinned for the next small one.
+const maxPooledCap = 1 << 16
+
+var (
+	ptrPool    = sync.Pool{New: func() any { s := make([]core.VertexPtr, 0, 64); return &s }}
+	rowPool    = sync.Pool{New: func() any { s := make([]Row, 0, 32); return &s }}
+	keyPool    = sync.Pool{New: func() any { s := make([]sortKey, 0, 4); return &s }}
+	valuesPool = sync.Pool{New: func() any { return make(map[string]bond.Value, 8) }}
+	addrPool   = sync.Pool{New: func() any { return make(map[farm.Addr]bool, 64) }}
+)
+
+func (b *execBufs) getPtrs() []core.VertexPtr {
+	if b == nil {
+		return nil
+	}
+	return (*ptrPool.Get().(*[]core.VertexPtr))[:0]
+}
+
+func (b *execBufs) putPtrs(s []core.VertexPtr) {
+	if b == nil || cap(s) == 0 || cap(s) > maxPooledCap {
+		return
+	}
+	s = s[:0]
+	ptrPool.Put(&s)
+}
+
+func (b *execBufs) getRows() []Row {
+	if b == nil {
+		return nil
+	}
+	return (*rowPool.Get().(*[]Row))[:0]
+}
+
+// putRows recycles a row batch's slice header and backing array only. The
+// rows' Values maps and key slices are NOT released: callers recycle batch
+// slices after appending the Row values elsewhere (execLevel's merge), so
+// the maps are still live in the copies.
+func (b *execBufs) putRows(s []Row) {
+	if b == nil || cap(s) == 0 || cap(s) > maxPooledCap {
+		return
+	}
+	s = s[:0]
+	rowPool.Put(&s)
+}
+
+// getValues returns an empty projection map. Pooled maps keep their bucket
+// arrays, so the steady state of a paging query writes into warm buckets.
+func (b *execBufs) getValues(sizeHint int) map[string]bond.Value {
+	if b == nil {
+		return make(map[string]bond.Value, sizeHint)
+	}
+	return valuesPool.Get().(map[string]bond.Value)
+}
+
+// getKeys returns a length-n sort-key slice. Elements are NOT zeroed: the
+// single caller (newRow) assigns every index before the row is visible.
+func (b *execBufs) getKeys(n int) []sortKey {
+	if b == nil {
+		return make([]sortKey, n)
+	}
+	s := *keyPool.Get().(*[]sortKey)
+	if cap(s) < n {
+		return make([]sortKey, n)
+	}
+	return s[:n]
+}
+
+func (b *execBufs) getAddrSet() map[farm.Addr]bool {
+	if b == nil {
+		return make(map[farm.Addr]bool)
+	}
+	return addrPool.Get().(map[farm.Addr]bool)
+}
+
+func (b *execBufs) putAddrSet(m map[farm.Addr]bool) {
+	if b == nil || m == nil || len(m) > maxPooledCap {
+		return
+	}
+	clear(m)
+	addrPool.Put(m)
+}
+
+// releaseRow returns one dropped row's buffers to the pools. The caller
+// asserts the row has no other referent — it was pruned or deduplicated
+// away before any copy of it could escape.
+func (b *execBufs) releaseRow(r *Row) {
+	if b == nil {
+		return
+	}
+	if r.Values != nil {
+		clear(r.Values)
+		valuesPool.Put(r.Values)
+		r.Values = nil
+	}
+	if r.keys != nil {
+		if cap(r.keys) <= maxPooledCap {
+			k := r.keys[:0]
+			keyPool.Put(&k)
+		}
+		r.keys = nil
+	}
+}
+
+// releaseRows releases every row in a dropped suffix (see releaseRow).
+func (b *execBufs) releaseRows(rows []Row) {
+	if b == nil {
+		return
+	}
+	for i := range rows {
+		b.releaseRow(&rows[i])
+	}
+}

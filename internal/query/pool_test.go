@@ -1,0 +1,141 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"a1/internal/bond"
+)
+
+// Buffer-pool ownership: rows that escape into results are never reclaimed,
+// so concurrent streams and pool churn must not be able to corrupt them.
+// These tests are most meaningful under -race, but the content checks catch
+// cross-contamination (a pooled map or key slice handed to two owners) even
+// without it.
+
+func TestConcurrentCursorPagingNoCrosstalk(t *testing.T) {
+	const vertices = 150
+	e, g, c := newCursorEnv(t, vertices, 7)
+
+	// Ground truth, single-threaded.
+	expect := make(map[string]float64, vertices)
+	rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id", "popularity"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next(c) {
+		r := rows.Row()
+		expect[r.Values["id"].AsString()] = r.Values["popularity"].AsFloat()
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(expect) != vertices {
+		t.Fatalf("reference scan saw %d rows, want %d", len(expect), vertices)
+	}
+
+	// Concurrent streams over the same engine: every page allocation and
+	// release on every stream goes through the shared pool. Each reader
+	// checks rows as they arrive AND retains every escaped Values map to
+	// re-verify after the stream — a pooled buffer reclaimed while still
+	// referenced would show up as a mutated or emptied map.
+	const readers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, err := e.QueryRows(c, g, []byte(`{"_type": "entity", "_select": ["id", "popularity"]}`))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			kept := make([]map[string]bond.Value, 0, vertices)
+			ids := make([]string, 0, vertices)
+			for rows.Next(c) {
+				r := rows.Row()
+				id := r.Values["id"].AsString()
+				if pop, ok := expect[id]; !ok || r.Values["popularity"].AsFloat() != pop {
+					errCh <- fmt.Errorf("row %q carries another row's values", id)
+					return
+				}
+				kept = append(kept, r.Values)
+				ids = append(ids, id)
+			}
+			if err := rows.Err(); err != nil {
+				errCh <- err
+				return
+			}
+			if len(kept) != vertices {
+				errCh <- fmt.Errorf("streamed %d rows, want %d", len(kept), vertices)
+				return
+			}
+			for j, m := range kept {
+				if len(m) != 2 || m["id"].AsString() != ids[j] || m["popularity"].AsFloat() != expect[ids[j]] {
+					errCh <- fmt.Errorf("escaped row %q mutated after the stream moved on", ids[j])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestContinuationRowsOutlivePoolChurn(t *testing.T) {
+	const vertices = 60
+	e, g, c := newCursorEnv(t, vertices, 10)
+
+	res, err := e.Execute(c, g, []byte(`{"_type": "entity", "_select": ["id", "popularity"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []map[string]bond.Value
+	var ids []string
+	keep := func(rows []Row) {
+		for _, r := range rows {
+			kept = append(kept, r.Values)
+			ids = append(ids, r.Values["id"].AsString())
+		}
+	}
+	keep(res.Rows)
+
+	// Between Fetch calls, churn the pool hard with queries that build,
+	// prune, and release rows (orderby+limit exercises topK and the merge
+	// release paths). If any continuation-cached page shared buffers with
+	// the pool, this reuse would scribble over it before resume.
+	token := res.Continuation
+	for token != "" {
+		for i := 0; i < 4; i++ {
+			if _, err := e.Execute(c, g, []byte(`{"_type": "entity", "_select": ["id"], "_orderby": "-popularity", "_limit": 5}`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		page, err := e.Fetch(c, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep(page.Rows)
+		token = page.Continuation
+	}
+
+	if len(kept) != vertices {
+		t.Fatalf("resumed stream yielded %d rows, want %d", len(kept), vertices)
+	}
+	seen := map[string]bool{}
+	for i, m := range kept {
+		id := ids[i]
+		if seen[id] {
+			t.Errorf("duplicate row %q across resumed pages", id)
+		}
+		seen[id] = true
+		if len(m) != 2 || m["id"].AsString() != id {
+			t.Errorf("row %q corrupted by pool churn between pages", id)
+		}
+	}
+}

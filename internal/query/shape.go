@@ -147,37 +147,41 @@ func appendGroupKey(b []byte, v bond.Value) []byte {
 		return bond.OrderedEncode(b, v)
 	default:
 		b = append(b, 0xFE)
-		return append(b, bond.Marshal(v)...)
+		return bond.AppendMarshal(b, v)
 	}
 }
 
-// groupKeyOf resolves a vertex's group key values and their encoding. A
-// missing key component groups under Null.
-func groupKeyOf(data bond.Value, by []FieldPath, schema *bond.Schema) ([]bond.Value, string) {
-	keys := make([]bond.Value, len(by))
-	var enc []byte
-	for i, fp := range by {
+// accumGroup folds one vertex into a batch's group states. The group key
+// is encoded into scratch (returned for reuse across the batch loop) and
+// only materialized — key values and map entry — the first time a group
+// is seen: the steady state of a skewed grouping is a map hit, which this
+// way costs zero allocations.
+func accumGroup(groups map[string]*groupState, by []FieldPath, aggs []Aggregate, data bond.Value, schema *bond.Schema, scratch []byte) []byte {
+	enc := scratch[:0]
+	for _, fp := range by {
 		v, ok := resolvePath(data, fp, schema)
 		if !ok {
 			v = bond.Null
 		}
-		keys[i] = v
 		enc = appendGroupKey(enc, v)
 	}
-	return keys, string(enc)
-}
-
-// accumGroup folds one vertex into a batch's group states.
-func accumGroup(groups map[string]*groupState, by []FieldPath, aggs []Aggregate, data bond.Value, schema *bond.Schema) {
-	keys, enc := groupKeyOf(data, by, schema)
-	gs := groups[enc]
+	gs := groups[string(enc)] // map index conversion: no allocation
 	if gs == nil {
+		keys := make([]bond.Value, len(by))
+		for i, fp := range by {
+			v, ok := resolvePath(data, fp, schema)
+			if !ok {
+				v = bond.Null
+			}
+			keys[i] = v
+		}
 		gs = &groupState{keys: keys, aggs: make([]aggState, len(aggs))}
-		groups[enc] = gs
+		groups[string(enc)] = gs
 	}
 	for i := range aggs {
 		accumAgg(&gs.aggs[i], aggs[i], data, schema)
 	}
+	return enc
 }
 
 // mergeGroupStates folds a batch's group partials into the coordinator's
@@ -296,10 +300,14 @@ func sortRows(rows []Row, orders []OrderBy) {
 
 // topK sorts rows and keeps the best k — the pruning step both workers
 // (before shipping) and the coordinator (while merging) apply when
-// _orderby and _limit are present.
-func topK(rows []Row, orders []OrderBy, k int) []Row {
+// _orderby and _limit are present. The pruned suffix is released back to
+// the buffer pool: every call site prunes rows it built itself (worker
+// batches) or rows whose only copies live in the list being pruned (the
+// coordinator merge), so the dropped rows have no other referent.
+func topK(bufs *execBufs, rows []Row, orders []OrderBy, k int) []Row {
 	sortRows(rows, orders)
 	if len(rows) > k {
+		bufs.releaseRows(rows[k:])
 		rows = rows[:k]
 	}
 	return rows
@@ -313,7 +321,7 @@ func topK(rows []Row, orders []OrderBy, k int) []Row {
 // concatenation would — without ever materializing it. The head scan is
 // linear in the list count: k is a query limit and the list count is
 // bounded by the cluster size, so a heap would not pay for itself.
-func mergeSortedRows(lists [][]Row, orders []OrderBy, k int) []Row {
+func mergeSortedRows(bufs *execBufs, lists [][]Row, orders []OrderBy, k int) []Row {
 	pos := make([]int, len(lists))
 	total := 0
 	for _, l := range lists {
@@ -338,6 +346,11 @@ func mergeSortedRows(lists [][]Row, orders []OrderBy, k int) []Row {
 		}
 		out = append(out, lists[best][pos[best]])
 		pos[best]++
+	}
+	// Rows the merge never consumed can't reach the result; hand their
+	// buffers back. The consumed prefix escaped into out and is left alone.
+	for i := range lists {
+		bufs.releaseRows(lists[i][pos[i]:])
 	}
 	return out
 }
