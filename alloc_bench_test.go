@@ -81,3 +81,20 @@ func BenchmarkAllocZipfGroupBy(b *testing.B) {
 		return z.TopGroupsQuery(10)
 	})
 }
+
+// BenchmarkAllocZipfGroupStream is the high-cardinality streamed form:
+// one group per vertex, drained through the k-way run merge (`_limit`
+// keeps each iteration to one page so no continuation state lingers).
+func BenchmarkAllocZipfGroupStream(b *testing.B) {
+	benchAllocQuery(b, func(z *workload.ZipfGraph) string {
+		return `{"_type": "node", "_groupby": "score", "_select": ["_count(*)"], "_limit": 100}`
+	})
+}
+
+// BenchmarkAllocZipfGroupHaving adds a `_having` bound that workers prove
+// locally, so most groups ship as key-only tombstones.
+func BenchmarkAllocZipfGroupHaving(b *testing.B) {
+	benchAllocQuery(b, func(z *workload.ZipfGraph) string {
+		return `{"_type": "node", "_groupby": "score", "_select": ["_count(*)", "_max(score)"], "_having": {"_max(score)": {"_lt": 400}}, "_limit": 100}`
+	})
+}

@@ -52,6 +52,7 @@ var experiments = []experiment{
 	{"planner", "cost-based vs structural access-path choice on the Zipf-skewed workload", single(bench.Planner)},
 	{"toporder", "ordered traversal terminal: merged top-K vs frontier sort on the Zipf workload", single(bench.TopOrder)},
 	{"allocs", "hot-path allocation discipline: allocs/op and bytes/op, pooled vs unpooled", single(bench.Allocs)},
+	{"groupcard", "high-cardinality _groupby: streaming merge vs map-accumulate, _having pushdown, spill", single(bench.GroupCard)},
 }
 
 func main() {

@@ -59,12 +59,15 @@ type groupJSON struct {
 }
 
 type statsJSON struct {
-	Hops          int     `json:"hops"`
-	VerticesRead  int64   `json:"vertices_read"`
-	ObjectsRead   int64   `json:"objects_read"`
-	LocalPct      float64 `json:"local_read_pct"`
-	ElapsedUS     int64   `json:"elapsed_us"`
-	PlanCacheHits int64   `json:"plan_cache_hits,omitempty"`
+	Hops           int     `json:"hops"`
+	VerticesRead   int64   `json:"vertices_read"`
+	ObjectsRead    int64   `json:"objects_read"`
+	LocalPct       float64 `json:"local_read_pct"`
+	ElapsedUS      int64   `json:"elapsed_us"`
+	PlanCacheHits  int64   `json:"plan_cache_hits,omitempty"`
+	GroupsShipped  int64   `json:"groups_shipped,omitempty"`
+	GroupsFiltered int64   `json:"groups_filtered,omitempty"`
+	GroupSpills    int64   `json:"group_spills,omitempty"`
 }
 
 type errorJSON struct {
@@ -76,12 +79,15 @@ func toResponse(res *a1.Result) queryResponse {
 	out := queryResponse{
 		Continuation: res.Continuation,
 		Stats: statsJSON{
-			Hops:          res.Stats.Hops,
-			VerticesRead:  res.Stats.VerticesRead,
-			ObjectsRead:   res.Stats.ObjectsRead,
-			LocalPct:      res.Stats.LocalFrac * 100,
-			ElapsedUS:     res.Stats.Elapsed.Microseconds(),
-			PlanCacheHits: res.Stats.PlanCacheHits,
+			Hops:           res.Stats.Hops,
+			VerticesRead:   res.Stats.VerticesRead,
+			ObjectsRead:    res.Stats.ObjectsRead,
+			LocalPct:       res.Stats.LocalFrac * 100,
+			ElapsedUS:      res.Stats.Elapsed.Microseconds(),
+			PlanCacheHits:  res.Stats.PlanCacheHits,
+			GroupsShipped:  res.Stats.GroupsShipped,
+			GroupsFiltered: res.Stats.GroupsFiltered,
+			GroupSpills:    res.Stats.GroupSpills,
 		},
 	}
 	if res.HasCount {

@@ -79,3 +79,44 @@ func Canonical(m map[string]int) []string {
 	}
 	return out
 }
+
+// The group-run emission shapes: a worker turns its partial-state map
+// into the key-sorted run a streaming coordinator merge consumes. The
+// run's order IS the wire contract, so emitting in map order is exactly
+// the bug this analyzer exists to catch.
+
+type groupPartial struct {
+	Count int64
+}
+
+type runEntry struct {
+	Enc string
+	GS  *groupPartial
+}
+
+// Bad: run entries are emitted in map iteration order; two workers (or
+// two runs of one worker) would ship differently-ordered runs and the
+// coordinator's k-way merge contract breaks.
+func BuildRunUnsorted(groups map[string]*groupPartial) []runEntry {
+	var run []runEntry
+	for enc, gs := range groups {
+		run = append(run, runEntry{Enc: enc, GS: gs}) // want `run is appended to in iteration order of map groups`
+	}
+	return run
+}
+
+// Good: the real buildGroupRun shape — collect the encoded keys, sort
+// them, then build the run by indexed lookup so entries are emitted in
+// encoded-key order regardless of map layout.
+func BuildRunSorted(groups map[string]*groupPartial) []runEntry {
+	encs := make([]string, 0, len(groups))
+	for enc := range groups {
+		encs = append(encs, enc)
+	}
+	sort.Strings(encs)
+	run := make([]runEntry, 0, len(encs))
+	for _, enc := range encs {
+		run = append(run, runEntry{Enc: enc, GS: groups[enc]})
+	}
+	return run
+}

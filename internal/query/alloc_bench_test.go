@@ -138,3 +138,33 @@ func BenchmarkAllocAccumGroup(b *testing.B) {
 		scratch = accumGroup(groups, by, aggs, data[i%len(data)], benchSchema, scratch)
 	}
 }
+
+// BenchmarkAllocGroupRun is a worker's streamed-group emission: sort the
+// accumulated partials into one key-ordered run (the unit a coordinator
+// merge consumes), including the `_having` fail-proof pass.
+func BenchmarkAllocGroupRun(b *testing.B) {
+	by := []FieldPath{benchPath(b, "score")}
+	aggs := []Aggregate{
+		{Kind: AggCount, Raw: "_count(*)"},
+		{Kind: AggMax, Path: benchPath(b, "score"), Raw: "_max(score)"},
+	}
+	pat := &VertexPattern{
+		GroupBy: by,
+		Aggs:    aggs,
+		Having:  []HavingPred{{Raw: "_max(score)", AggIdx: 1, Op: OpLt, Value: bond.Int64(128)}},
+	}
+	data := benchData(256)
+	groups := make(map[string]*groupState)
+	var scratch []byte
+	for _, d := range data {
+		scratch = accumGroup(groups, by, aggs, d, benchSchema, scratch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, _ := buildGroupRun(groups, pat, false)
+		if len(run) != len(groups) {
+			b.Fatalf("run %d entries, want %d", len(run), len(groups))
+		}
+	}
+}

@@ -34,6 +34,7 @@ const (
 	keySkip    = "_skip"
 	keyOrderBy = "_orderby"
 	keyGroupBy = "_groupby"
+	keyHaving  = "_having"
 )
 
 // Op is a predicate comparison operator.
@@ -125,6 +126,19 @@ type Aggregate struct {
 	Raw  string
 }
 
+// HavingPred is one `_having` entry: a `_select` aggregate column compared
+// against a constant (or a "$param" placeholder bound at execution time).
+// Raw is the `_having` key verbatim — the full aggregate entry
+// ("_count(*)") or the bare function name when unambiguous ("_count") —
+// and AggIdx the Aggs column it resolved to at validation time.
+type HavingPred struct {
+	Raw    string
+	AggIdx int
+	Op     Op
+	Value  bond.Value
+	Param  string
+}
+
 // OrderBy is one `_orderby` sort key. A query may carry several keys
 // (multi-key ordering); rows compare key by key, ties falling through to
 // the next.
@@ -162,6 +176,11 @@ type VertexPattern struct {
 	// validation time; parallel to Orders, set only when GroupBy is
 	// present).
 	GroupOrder []int
+	// Having holds the `_having` aggregate predicates (grouped form only):
+	// a conjunction over the group's finalized aggregates, applied after
+	// the group's partial states merge — and pushed down to workers
+	// wherever a local partial already proves the outcome.
+	Having []HavingPred
 
 	// "$param" placeholders bound at execution time.
 	IDParam    string // id
@@ -173,7 +192,7 @@ type VertexPattern struct {
 // which are only meaningful on the terminal level.
 func (vp *VertexPattern) shaped() bool {
 	return len(vp.Aggs) > 0 || vp.Limit > 0 || vp.Skip > 0 || len(vp.Orders) > 0 ||
-		len(vp.GroupBy) > 0 || vp.LimitParam != "" || vp.SkipParam != ""
+		len(vp.GroupBy) > 0 || len(vp.Having) > 0 || vp.LimitParam != "" || vp.SkipParam != ""
 }
 
 // Hints carries optional execution hints (paper: A1 has no true optimizer;
@@ -290,6 +309,9 @@ func collectParams(root *VertexPattern) []string {
 		for _, p := range vp.Preds {
 			add(p.Param)
 		}
+		for _, hp := range vp.Having {
+			add(hp.Param)
+		}
 		for _, m := range vp.Matches {
 			walkEdge(m)
 		}
@@ -346,8 +368,14 @@ func validateShaping(root *VertexPattern) error {
 			if err := resolveGroupOrder(vp); err != nil {
 				return err
 			}
+			if err := resolveHaving(vp); err != nil {
+				return err
+			}
 		}
 		if terminal && len(vp.GroupBy) == 0 {
+			if len(vp.Having) > 0 {
+				return errors.New("a1ql: _having requires _groupby")
+			}
 			for _, ob := range vp.Orders {
 				if isAggKey(ob.Path.Raw) {
 					return fmt.Errorf("a1ql: _orderby %q (an aggregate column) requires _groupby", ob.Path.Raw)
@@ -408,6 +436,38 @@ func resolveGroupOrder(vp *VertexPattern) error {
 			return fmt.Errorf("a1ql: _orderby %q is ambiguous; use the full aggregate entry", ob.Path.Raw)
 		default:
 			return fmt.Errorf("a1ql: _orderby with _groupby must name a _select aggregate column (got %q)", ob.Path.Raw)
+		}
+	}
+	return nil
+}
+
+// resolveHaving maps each `_having` key to a `_select` aggregate column,
+// with the same resolution rule as the grouped `_orderby`: the verbatim
+// aggregate entry ("_count(*)") or the bare function name ("_count") when
+// exactly one aggregate of that function exists.
+func resolveHaving(vp *VertexPattern) error {
+	for i := range vp.Having {
+		hp := &vp.Having[i]
+		exact := -1
+		var short []int
+		for ai, agg := range vp.Aggs {
+			if hp.Raw == agg.Raw {
+				exact = ai
+				break
+			}
+			if open := strings.IndexByte(agg.Raw, '('); open > 0 && hp.Raw == agg.Raw[:open] {
+				short = append(short, ai)
+			}
+		}
+		switch {
+		case exact >= 0:
+			hp.AggIdx = exact
+		case len(short) == 1:
+			hp.AggIdx = short[0]
+		case len(short) > 1:
+			return fmt.Errorf("a1ql: _having %q is ambiguous; use the full aggregate entry", hp.Raw)
+		default:
+			return fmt.Errorf("a1ql: _having must name a _select aggregate column (got %q)", hp.Raw)
 		}
 	}
 	return nil
@@ -555,6 +615,12 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 				return nil, err
 			}
 			vp.GroupBy = gb
+		case keyHaving:
+			hps, err := parseHaving(v)
+			if err != nil {
+				return nil, err
+			}
+			vp.Having = hps
 		case keyMatch:
 			list, ok := v.([]interface{})
 			if !ok {
@@ -805,6 +871,73 @@ func parseGroupBy(v interface{}) ([]FieldPath, error) {
 		paths = append(paths, fp)
 	}
 	return paths, nil
+}
+
+// parseHaving turns `"_having": {"_count(*)": {"_ge": 2}, ...}` into
+// aggregate predicates. Like field predicates, a direct constant means
+// equality and an operator object carries one comparison per key; the
+// aggregate-column keys resolve against the `_select` aggregates at
+// validation time.
+func parseHaving(v interface{}) ([]HavingPred, error) {
+	obj, ok := v.(map[string]interface{})
+	if !ok {
+		return nil, errors.New("a1ql: _having must be an object")
+	}
+	if len(obj) == 0 {
+		return nil, errors.New("a1ql: _having must not be empty")
+	}
+	var hps []HavingPred
+	for _, aggKey := range sortedKeys(obj) {
+		hv := obj[aggKey]
+		if opObj, ok := hv.(map[string]interface{}); ok {
+			for _, opKey := range sortedKeys(opObj) {
+				op, ok := opNames[opKey]
+				if !ok {
+					return nil, fmt.Errorf("a1ql: unknown operator %q", opKey)
+				}
+				hp, err := havingConstant(aggKey, op, opObj[opKey])
+				if err != nil {
+					return nil, err
+				}
+				hps = append(hps, hp)
+			}
+			continue
+		}
+		hp, err := havingConstant(aggKey, OpEq, hv)
+		if err != nil {
+			return nil, err
+		}
+		hps = append(hps, hp)
+	}
+	return hps, nil
+}
+
+// havingConstant builds one `_having` predicate from a JSON constant,
+// recognizing parameter placeholders. `_prefix` is rejected: aggregate
+// values are compared, never prefix-matched, and prefix comparisons admit
+// no pushdown proof.
+func havingConstant(raw string, op Op, constant interface{}) (HavingPred, error) {
+	hp := HavingPred{Raw: raw, AggIdx: -1, Op: op}
+	if op == OpPrefix {
+		return hp, errors.New("a1ql: _having does not support _prefix")
+	}
+	if s, ok := constant.(string); ok {
+		name, isParam, err := paramRef(s)
+		if err != nil {
+			return hp, err
+		}
+		if isParam {
+			hp.Param = name
+			return hp, nil
+		}
+		constant = unescapeParam(s)
+	}
+	val, err := jsonToBond(constant)
+	if err != nil {
+		return hp, err
+	}
+	hp.Value = val
+	return hp, nil
 }
 
 // parsePredicate turns `"field": constant` or `"field": {"_gt": constant}`

@@ -52,6 +52,7 @@ func DecodeToken(token string) (fabric.MachineID, uint64, error) {
 type cachedResult struct {
 	rows    []Row
 	groups  []GroupRow // grouped-aggregate remainder (`_groupby` results page too)
+	pg      *pager     // streamed-group remainder: pages pull from live run/spill merges
 	expires time.Duration
 }
 
@@ -71,6 +72,18 @@ func (rc *resultCache) put(c *fabric.Ctx, ttl time.Duration, rows []Row, groups 
 	rc.nextID++
 	id := rc.nextID
 	rc.entries[id] = &cachedResult{rows: rows, groups: groups, expires: c.Now() + ttl}
+	return id
+}
+
+// putStream caches a live streamed-group pager: fetches drive the k-way
+// merge (pulling worker run tails or spilled runs) instead of slicing a
+// materialized remainder.
+func (rc *resultCache) putStream(c *fabric.Ctx, ttl time.Duration, pg *pager) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.nextID++
+	id := rc.nextID
+	rc.entries[id] = &cachedResult{pg: pg, expires: c.Now() + ttl}
 	return id
 }
 
@@ -98,11 +111,40 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 	entry, ok := rc.entries[id]
 	if ok && c.Now() >= entry.expires {
 		delete(rc.entries, id)
-		ok = false
+		rc.mu.Unlock()
+		if entry.pg != nil {
+			entry.pg.close(e)
+		}
+		return nil, classify(fmt.Errorf("%w: expired; restart the query", ErrBadToken))
 	}
 	if !ok {
 		rc.mu.Unlock()
 		return nil, classify(fmt.Errorf("%w: expired; restart the query", ErrBadToken))
+	}
+	if entry.pg != nil {
+		// Streamed-group entry: paging it may pull run tails over the fabric,
+		// so the entry is claimed (removed) under the lock and the pull runs
+		// unlocked — a local lock must never be held across a fabric round
+		// trip. A concurrent Fetch of the same token sees no entry and gets
+		// ErrBadToken, the same contract as racing a sweeper expiry.
+		delete(rc.entries, id)
+		rc.mu.Unlock()
+		res := &Result{}
+		page, more, err := entry.pg.nextPage(c, pageSize, &res.Stats)
+		if err != nil {
+			entry.pg.close(e)
+			return nil, classify(err)
+		}
+		res.Groups = page
+		if more {
+			rc.mu.Lock()
+			rc.entries[id] = entry // same id: the client's token stays valid
+			rc.mu.Unlock()
+			res.Continuation = token
+		} else {
+			entry.pg.close(e)
+		}
+		return res, nil
 	}
 	res := &Result{}
 	if len(entry.groups) > 0 {
@@ -145,8 +187,12 @@ func (e *Engine) Release(c *fabric.Ctx, token string) error {
 	}
 	rc := e.caches[c.M]
 	rc.mu.Lock()
+	entry := rc.entries[p.ID]
 	delete(rc.entries, p.ID)
 	rc.mu.Unlock()
+	if entry != nil && entry.pg != nil {
+		entry.pg.close(e)
+	}
 	return nil
 }
 
@@ -159,28 +205,45 @@ func (e *Engine) PendingResults(m fabric.MachineID) int {
 	return len(rc.entries)
 }
 
-// ExpireResults drops timed-out continuation state on machine m (called by
-// a background sweeper; also exercised directly in tests).
+// ExpireResults drops timed-out continuation state on machine m — cached
+// pages, streamed-group pagers (their spill tables are released), and this
+// machine's parked group-run tails (called by a background sweeper; also
+// exercised directly in tests).
 func (e *Engine) ExpireResults(c *fabric.Ctx) int {
 	rc := e.caches[c.M]
 	now := c.Now()
+	var closed []*pager
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	n := 0
 	for id, entry := range rc.entries {
 		if now >= entry.expires {
 			delete(rc.entries, id)
+			if entry.pg != nil {
+				closed = append(closed, entry.pg)
+			}
 			n++
 		}
 	}
-	return n
+	rc.mu.Unlock()
+	for _, pg := range closed {
+		pg.close(e)
+	}
+	return n + e.runs[c.M].expire(now)
 }
 
 // DropResultsOn simulates a coordinator crash wiping its continuation
-// cache (clients must restart their queries).
+// cache and its parked group-run tails (clients must restart their
+// queries; run tails this machine's queries parked elsewhere die by TTL).
 func (e *Engine) DropResultsOn(m fabric.MachineID) {
 	rc := e.caches[m]
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
+	old := rc.entries
 	rc.entries = make(map[uint64]*cachedResult)
+	rc.mu.Unlock()
+	for _, entry := range old {
+		if entry.pg != nil {
+			entry.pg.close(e)
+		}
+	}
+	e.runs[m].reset()
 }

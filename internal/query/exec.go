@@ -12,6 +12,7 @@ import (
 	"a1/internal/core"
 	"a1/internal/fabric"
 	"a1/internal/farm"
+	"a1/internal/objectstore"
 )
 
 // Execution: exec.go interprets the compiled Plan (plan.go). The planner
@@ -56,6 +57,17 @@ type Config struct {
 	// allocates fresh memory. Ablation knob for the allocs bench report
 	// and for bisecting suspected recycle-too-early bugs.
 	NoPooling bool
+	// NoGroupStreaming disables the streamed grouped-aggregate path:
+	// workers ship whole group maps and the coordinator accumulates every
+	// group before finalizing — the pre-streaming behavior, kept as the
+	// parity ablation and the groupcard benchmark baseline.
+	NoGroupStreaming bool
+	// GroupChunk is how many sorted group entries a worker ships per
+	// round: the first chunk rides the batch reply, the rest are pulled
+	// chunk by chunk as the coordinator's merge drains. It also sizes the
+	// read-back chunks of spilled group runs. Coordinator residency for
+	// the unordered `_groupby` form is O(page + machines·GroupChunk).
+	GroupChunk int
 
 	// CPU cost model for the simulated fabric (no-ops in Direct mode).
 	CostParse      time.Duration // coordinator: parse + plan
@@ -77,6 +89,7 @@ func DefaultConfig() Config {
 		MaxWorkingSet:  1 << 20,
 		PageSize:       1000,
 		ResultTTL:      60 * time.Second,
+		GroupChunk:     256,
 		CostParse:      10 * time.Microsecond,
 		CostVertexRead: 1500 * time.Nanosecond,
 		CostPredEval:   300 * time.Nanosecond,
@@ -117,6 +130,21 @@ type Stats struct {
 	// index-membership filter *before* any vertex read — the saving the
 	// IndexFilter operator buys.
 	IndexFiltered int64
+	// GroupsShipped counts group partial states that crossed the fabric
+	// (first-chunk replies plus later run pulls; `_having` tombstones ship
+	// the key alone and are not counted). Their bytes — wire widths via
+	// bond.MarshalSize — land in BytesShipped.
+	GroupsShipped int64
+	// GroupsFiltered counts groups a `_having` filter removed: worker-side
+	// pushdown drops and tombstones plus coordinator post-merge re-checks.
+	GroupsFiltered int64
+	// GroupSpills counts sorted group runs the coordinator spilled to the
+	// objectstore (order-by-aggregate form past MaxWorkingSet).
+	GroupSpills int64
+	// PeakGroups is the peak number of group entries resident at the
+	// coordinator: the full group set on the map-accumulate path, merge
+	// buffers plus the page on the streaming path.
+	PeakGroups int64
 	// PlanCacheHits is 1 when this execution's plan came from the engine's
 	// plan cache (a Prepared.Exec or a repeated document): the coordinator
 	// performed zero parses, and in Sim mode paid no CostParse.
@@ -156,7 +184,13 @@ type Engine struct {
 	store  *core.Store
 	cfg    Config
 	caches []*resultCache // per machine (coordinator-cached continuations)
+	runs   []*runStore    // per machine (worker-parked group-run tails)
 	plans  *planCache     // compiled plans keyed by canonical document hash
+
+	// spill holds sorted group runs the order-by-aggregate form writes past
+	// MaxWorkingSet (groupstream.go); spillSeq names the run tables.
+	spill    *objectstore.Store
+	spillSeq atomic.Uint64
 }
 
 // NewEngine creates an engine over a store.
@@ -170,10 +204,16 @@ func NewEngine(store *core.Store, cfg Config) *Engine {
 	if cfg.ResultTTL == 0 {
 		cfg.ResultTTL = DefaultConfig().ResultTTL
 	}
-	e := &Engine{store: store, cfg: cfg, plans: newPlanCache()}
-	e.caches = make([]*resultCache, store.Farm().Fabric().Machines())
+	if cfg.GroupChunk == 0 {
+		cfg.GroupChunk = DefaultConfig().GroupChunk
+	}
+	e := &Engine{store: store, cfg: cfg, plans: newPlanCache(), spill: objectstore.New()}
+	machines := store.Farm().Fabric().Machines()
+	e.caches = make([]*resultCache, machines)
+	e.runs = make([]*runStore, machines)
 	for i := range e.caches {
 		e.caches[i] = newResultCache()
+		e.runs[i] = newRunStore()
 	}
 	return e
 }
@@ -272,6 +312,7 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	var rows []Row
 	var aggStates []aggState
 	var groups map[string]*groupState
+	var gcur *groupCursor
 
 	frontier, orderedRows, ordered, err := st.execStart(qc, ctx, pats[0], pl.Levels[0])
 	if err != nil {
@@ -338,6 +379,21 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 					}
 				}
 			}
+			// Streaming grouped terminal: workers reduce and sort their group
+			// partials into per-machine runs; the returned cursor k-way
+			// merges them in key order as the result pages out, so the full
+			// group set is never resident at the coordinator.
+			if lp.Terminal && lp.Group != nil && !e.cfg.NoGroupStreaming {
+				cur, err := st.execGroupedLevel(qc, frontier, pat, lp)
+				st.bufs.putAddrSet(st.member)
+				st.member = nil
+				if err != nil {
+					return nil, err
+				}
+				st.stats.Hops++
+				gcur = cur
+				break
+			}
 			out, err := st.execLevel(qc, frontier, pat, lp)
 			st.bufs.putAddrSet(st.member)
 			st.member = nil
@@ -374,33 +430,44 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	}
 	switch {
 	case tl.Group != nil:
-		// Grouped aggregates: finalize the merged partial states into the
-		// sorted group list; _skip/_limit shape groups, and overflowing
+		if gcur != nil {
+			// Streamed grouped aggregates: the unordered form pages the
+			// k-way merge cursor directly (later pages pull through the
+			// continuation entry); the aggregate-`_orderby` form drains the
+			// cursor — spilling sorted runs past MaxWorkingSet — and pages
+			// the re-merged order.
+			if err := st.streamGroups(qc, res, gcur, tp, pageSize); err != nil {
+				return nil, err
+			}
+			break
+		}
+		// Map-accumulate ablation (Config.NoGroupStreaming): finalize the
+		// merged partial states into the sorted group list; `_having`
+		// filters finalized groups, _skip/_limit shape them, and overflowing
 		// group lists page through the continuation cache like rows. An
 		// aggregate `_orderby` re-sorts the groups by their (now final)
 		// aggregate columns, and the _limit slice below is the top-K
 		// pruning — groups merge fully before any aggregate is final, so
 		// the coordinator is the earliest place to prune.
 		grows := finalizeGroups(groups, tp.GroupBy, tp.Aggs)
+		if n := int64(len(grows)); n > st.stats.PeakGroups {
+			st.stats.PeakGroups = n
+		}
+		if len(tp.Having) > 0 {
+			kept := grows[:0]
+			for _, gr := range grows {
+				if evalHavingRow(gr.Aggregates, tp.Having, tp.Aggs) {
+					kept = append(kept, gr)
+				} else {
+					st.stats.GroupsFiltered++
+				}
+			}
+			grows = kept
+		}
 		if len(tp.Orders) > 0 {
 			sortGroupsByAgg(grows, tp.Orders, tp.GroupOrder, tp.Aggs)
 		}
-		if skip := tp.Skip; skip > 0 {
-			if skip >= len(grows) {
-				grows = nil
-			} else {
-				grows = grows[skip:]
-			}
-		}
-		if tp.Limit > 0 && len(grows) > tp.Limit {
-			grows = grows[:tp.Limit]
-		}
-		if len(grows) > pageSize {
-			token := e.caches[qc.M].put(qc, e.cfg.ResultTTL, nil, grows[pageSize:])
-			res.Continuation = encodeToken(qc.M, token, pageSize)
-			grows = grows[:pageSize]
-		}
-		res.Groups = grows
+		e.pageGroupSlice(qc, res, grows, tp, pageSize)
 	default:
 		if len(tp.Aggs) > 0 {
 			if aggStates == nil {
@@ -1406,6 +1473,14 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, pat *V
 				merged.groups = make(map[string]*groupState)
 			}
 			mergeGroupStates(merged.groups, out.groups, pat.Aggs)
+			// Incremental working-set cap: fail while merging, never after
+			// transiently holding an over-budget group map.
+			if len(merged.groups) > st.engine.cfg.MaxWorkingSet && firstErr == nil {
+				firstErr = fmt.Errorf("%w: %d groups", ErrWorkingSet, len(merged.groups))
+			}
+			if n := int64(len(merged.groups)); n > st.stats.PeakGroups {
+				st.stats.PeakGroups = n
+			}
 		}
 		// Ordered-limit merge: never hold more than the top K(+skip) rows.
 		if lp.Terminal && st.keep > 0 && len(merged.rows) > 2*st.keep {
@@ -1419,9 +1494,6 @@ func (st *execState) execLevel(qc *fabric.Ctx, frontier []core.VertexPtr, pat *V
 	}
 	if firstErr != nil {
 		return nil, firstErr
-	}
-	if merged.groups != nil && len(merged.groups) > st.engine.cfg.MaxWorkingSet {
-		return nil, fmt.Errorf("%w: %d groups", ErrWorkingSet, len(merged.groups))
 	}
 	return merged, nil
 }
@@ -1538,6 +1610,12 @@ func (st *execState) execBatch(sc *fabric.Ctx, batch []core.VertexPtr, pat *Vert
 			if grouped {
 				if vtx != nil {
 					gkScratch = accumGroup(out.groups, pat.GroupBy, pat.Aggs, vtx.Data, schema, gkScratch)
+					// Per-worker incremental cap: a single batch's partial
+					// map must respect the working-set budget too, checked
+					// as it grows rather than after the batch.
+					if len(out.groups) > e.cfg.MaxWorkingSet {
+						return nil, fmt.Errorf("%w: %d group partials", ErrWorkingSet, len(out.groups))
+					}
 				}
 				continue
 			}

@@ -145,6 +145,9 @@ func (b *binder) vertex(vp *VertexPattern) (*VertexPattern, error) {
 	if out.Preds, err = b.preds(vp.Preds); err != nil {
 		return nil, err
 	}
+	if out.Having, err = b.having(vp.Having); err != nil {
+		return nil, err
+	}
 	if out.Edge, err = b.edge(vp.Edge); err != nil {
 		return nil, err
 	}
@@ -180,6 +183,25 @@ func (b *binder) preds(preds []Predicate) ([]Predicate, error) {
 	}
 	out := make([]Predicate, len(preds))
 	copy(out, preds)
+	for i := range out {
+		if out[i].Param == "" {
+			continue
+		}
+		v, err := b.value(out[i].Param)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Value = v
+	}
+	return out, nil
+}
+
+func (b *binder) having(hps []HavingPred) ([]HavingPred, error) {
+	if len(hps) == 0 {
+		return hps, nil
+	}
+	out := make([]HavingPred, len(hps))
+	copy(out, hps)
 	for i := range out {
 		if out[i].Param == "" {
 			continue

@@ -73,10 +73,13 @@ type IndexFilterPlan struct {
 }
 
 // GroupPlan computes grouped aggregates: each worker reduces its batch to
-// per-group partial states, the coordinator merges them, and only group
-// partials — never rows — cross the fabric.
+// per-group partial states shipped as a key-sorted run, the coordinator
+// k-way merges the runs in key order, and only group partials — never rows
+// — cross the fabric. Having marks a `_having` filter: pushed to workers
+// wherever a local partial proves the outcome, re-checked after the merge.
 type GroupPlan struct {
-	By []FieldPath
+	By     []FieldPath
+	Having bool
 }
 
 // LevelPlan is the compiled form of one traversal level.
@@ -172,7 +175,7 @@ func compilePlan(q *Query) *Plan {
 			Traverse:  vp.Edge != nil,
 		}
 		if lp.Terminal && len(vp.GroupBy) > 0 {
-			lp.Group = &GroupPlan{By: vp.GroupBy}
+			lp.Group = &GroupPlan{By: vp.GroupBy, Having: len(vp.Having) > 0}
 		}
 		if depth == 0 {
 			lp.Start = compileStart(vp)
@@ -369,6 +372,13 @@ func describeTerminal(vp *VertexPattern) []string {
 		}
 		lines = append(lines, fmt.Sprintf("GroupAgg(by %s: %s)",
 			strings.Join(keys, ", "), strings.Join(aggs, ", ")))
+		if len(vp.Having) > 0 {
+			var hps []string
+			for _, hp := range vp.Having {
+				hps = append(hps, fmt.Sprintf("%s %s %s", hp.Raw, opName(hp.Op), havingValue(hp)))
+			}
+			lines = append(lines, "Having("+strings.Join(hps, ", ")+")")
+		}
 	} else if len(vp.Aggs) > 0 {
 		var aggs []string
 		for _, a := range vp.Aggs {
@@ -416,6 +426,13 @@ func predValue(p Predicate) string {
 		return "$" + p.Param
 	}
 	return fmt.Sprintf("%v", p.Value)
+}
+
+func havingValue(hp HavingPred) string {
+	if hp.Param != "" {
+		return "$" + hp.Param
+	}
+	return fmt.Sprintf("%v", hp.Value)
 }
 
 func opName(op Op) string {

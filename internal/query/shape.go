@@ -97,29 +97,7 @@ func mergeAggStates(dst, src []aggState, aggs []Aggregate) {
 func finalizeAggs(states []aggState, aggs []Aggregate) map[string]bond.Value {
 	out := make(map[string]bond.Value, len(aggs))
 	for i, a := range aggs {
-		s := states[i]
-		switch a.Kind {
-		case AggCount:
-			out[a.Raw] = bond.Int64(s.count)
-		case AggSum:
-			if s.fracSum {
-				out[a.Raw] = bond.Double(s.sum)
-			} else {
-				out[a.Raw] = bond.Int64(s.isum)
-			}
-		case AggAvg:
-			if s.count == 0 {
-				out[a.Raw] = bond.Null
-			} else {
-				out[a.Raw] = bond.Double(s.sum / float64(s.count))
-			}
-		case AggMin, AggMax:
-			if !s.seenMM {
-				out[a.Raw] = bond.Null
-			} else {
-				out[a.Raw] = s.mm
-			}
-		}
+		out[a.Raw] = finalAggValue(&states[i], a)
 	}
 	return out
 }
@@ -205,6 +183,18 @@ type GroupRow struct {
 	Aggregates map[string]bond.Value
 }
 
+// groupRowOf finalizes one merged group state into its result group.
+func groupRowOf(gs *groupState, by []FieldPath, aggs []Aggregate) GroupRow {
+	gr := GroupRow{
+		Keys:       make(map[string]bond.Value, len(by)),
+		Aggregates: finalizeAggs(gs.aggs, aggs),
+	}
+	for i, fp := range by {
+		gr.Keys[fp.Raw] = gs.keys[i]
+	}
+	return gr
+}
+
 // finalizeGroups converts merged group states into sorted result groups
 // (ascending by group key).
 func finalizeGroups(groups map[string]*groupState, by []FieldPath, aggs []Aggregate) []GroupRow {
@@ -215,15 +205,7 @@ func finalizeGroups(groups map[string]*groupState, by []FieldPath, aggs []Aggreg
 	sort.Strings(encs)
 	out := make([]GroupRow, 0, len(encs))
 	for _, enc := range encs {
-		gs := groups[enc]
-		gr := GroupRow{
-			Keys:       make(map[string]bond.Value, len(by)),
-			Aggregates: finalizeAggs(gs.aggs, aggs),
-		}
-		for i, fp := range by {
-			gr.Keys[fp.Raw] = gs.keys[i]
-		}
-		out = append(out, gr)
+		out = append(out, groupRowOf(groups[enc], by, aggs))
 	}
 	return out
 }
