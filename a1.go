@@ -89,6 +89,11 @@ type (
 	Rows = query.Rows
 	// QueryError is a classified query failure (Code + message).
 	QueryError = query.Error
+	// PlanTree is a compiled query plan as a typed operator tree — the
+	// structured form behind Explain, JSON-serializable for tooling.
+	PlanTree = query.PlanTree
+	// PlanNode is one operator of a PlanTree.
+	PlanNode = query.PlanNode
 	// RecoveryStats summarizes a disaster recovery run.
 	RecoveryStats = dr.RecoveryStats
 	// ObjectStore is the durable store disaster recovery replicates into.
@@ -115,6 +120,7 @@ const (
 	CodeNoStart    = query.CodeNoStart
 	CodeBadToken   = query.CodeBadToken
 	CodeWorkingSet = query.CodeWorkingSet
+	CodeRecurse    = query.CodeRecurse
 )
 
 // Common query errors, surfaced for errors.Is.
@@ -402,6 +408,22 @@ func (pq *PreparedQuery) ExecRows(c *Ctx, params Params) (*Rows, error) {
 // execution, QueryStats.Levels carries the matching actuals.
 func (db *DB) Explain(c *Ctx, g *Graph, doc string) (string, error) {
 	return db.engine.Explain(c, g, []byte(doc))
+}
+
+// ExplainPlan returns the compiled plan as a typed operator tree — the
+// structured form of Explain. Nodes carry the operator name, a
+// human-readable detail string, estimated cardinality (Est, -1 when
+// unknown), and children (a Recurse node's children are its per-iteration
+// Iter entries). The tree marshals to JSON for tooling, and its String
+// renders exactly what Explain prints. Optional params pre-bind "$name"
+// placeholders so the plan shown is the one a bound execution would run;
+// names the document does not reference are ignored.
+func (db *DB) ExplainPlan(c *Ctx, g *Graph, doc string, params ...Params) (*PlanTree, error) {
+	var p Params
+	if len(params) > 0 {
+		p = params[0]
+	}
+	return db.engine.ExplainPlan(c, g, []byte(doc), p)
 }
 
 // Stats returns a graph's live statistics as seen by the calling machine.

@@ -7,14 +7,17 @@
 //	POST   /query?tenant=bing&graph=kg   body: A1QL JSON         -> result page
 //	POST   /query                        body: {"query": <A1QL>, -> result page
 //	                                            "params": {...}}    (prepared + bound)
+//	POST   /explain                      body: A1QL or envelope   -> plan tree JSON
+//	                                     (?format=text for the rendered plan)
 //	GET    /fetch?token=...                                      -> next page
 //	DELETE /fetch?token=...                                      -> release continuation state
 //	GET    /stats                                                -> cluster counters
 //	GET    /healthz
 //
-// Query failures map to protocol statuses: parse and bind errors are 400,
-// an unmatched root is 404, an expired continuation token is 410, a
-// working-set fast-fail is 413, and frontend throttling is 429.
+// Query failures map to protocol statuses: parse, bind, and `_recurse`
+// misuse errors are 400, an unmatched root is 404, an expired continuation
+// token is 410, a working-set fast-fail is 413, and frontend throttling is
+// 429.
 //
 // Example:
 //
@@ -126,7 +129,7 @@ func classifyError(err error) (status int, code string) {
 	var qe *a1.QueryError
 	if errors.As(err, &qe) {
 		switch qe.Code {
-		case a1.CodeParse, a1.CodeBadParam:
+		case a1.CodeParse, a1.CodeBadParam, a1.CodeRecurse:
 			return http.StatusBadRequest, qe.Code.String()
 		case a1.CodeNoStart:
 			return http.StatusNotFound, qe.Code.String()
@@ -227,6 +230,42 @@ func splitEnvelope(body []byte) (doc []byte, params a1.Params, err error) {
 	return doc, params, nil
 }
 
+// handleExplain returns the compiled plan for a document without running
+// it — the structured PlanTree as JSON, or the rendered text with
+// ?format=text. Accepts the same {"query": ..., "params": {...}} envelope
+// as /query so a prepared statement's plan reflects its bind values.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an A1QL document", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	doc, params, err := splitEnvelope(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var tree *a1.PlanTree
+	var qerr error
+	s.db.Run(func(c *a1.Ctx) {
+		tree, qerr = s.db.ExplainPlan(c, s.g, string(doc), params)
+	})
+	if qerr != nil {
+		writeError(w, qerr)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, tree.String())
+		return
+	}
+	writeJSON(w, tree)
+}
+
 func (s *server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	token := r.URL.Query().Get("token")
 	if token == "" {
@@ -320,6 +359,7 @@ func main() {
 	s := &server{db: db, g: g}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/fetch", s.handleFetch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -129,8 +129,10 @@ type shell struct {
 	// workload name, so re-opening just switches.
 	graphs map[string]*a1.Graph
 	// explainNext makes the next entered document print its compiled
-	// operator tree instead of executing (set by :explain).
+	// operator tree instead of executing (set by :explain); explainJSON
+	// selects the structured PlanTree JSON form (:explain -json).
 	explainNext bool
+	explainJSON bool
 }
 
 // open loads (once) and switches to a named workload graph: "film" is the
@@ -192,15 +194,27 @@ func looksComplete(s string) bool {
 	return depth <= 0 && strings.Contains(s, "{")
 }
 
-// explainQuery prints the compiled operator tree for a document.
-func (sh *shell) explainQuery(doc string) {
+// explainQuery prints the compiled operator tree for a document, threading
+// the shell's :let bindings so a parameterized document explains as the
+// plan its bound execution would run (unbound names still render as
+// placeholders). With asJSON it prints the structured PlanTree instead.
+func (sh *shell) explainQuery(doc string, asJSON bool) {
 	sh.db.Run(func(c *a1.Ctx) {
-		plan, err := sh.db.Explain(c, sh.g, doc)
+		tree, err := sh.db.ExplainPlan(c, sh.g, doc, sh.bindings)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			return
 		}
-		fmt.Print(plan)
+		if asJSON {
+			blob, err := json.MarshalIndent(tree, "", "  ")
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			fmt.Println(string(blob))
+			return
+		}
+		fmt.Print(tree.String())
 	})
 }
 
@@ -210,7 +224,7 @@ func (sh *shell) explainQuery(doc string) {
 func (sh *shell) runQuery(doc string) {
 	if sh.explainNext {
 		sh.explainNext = false
-		sh.explainQuery(doc)
+		sh.explainQuery(doc, sh.explainJSON)
 		return
 	}
 	sh.db.Run(func(c *a1.Ctx) {
@@ -424,11 +438,17 @@ func (sh *shell) command(cmd string) bool {
 		sh.open(fields[1])
 	case ":explain":
 		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cmd), ":explain"))
+		asJSON := false
+		if rest == "-json" || strings.HasPrefix(rest, "-json ") || strings.HasPrefix(rest, "-json\t") {
+			asJSON = true
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, "-json"))
+		}
 		if rest != "" {
-			sh.explainQuery(rest)
+			sh.explainQuery(rest, asJSON)
 			break
 		}
 		sh.explainNext = true
+		sh.explainJSON = asJSON
 		fmt.Println("explain armed: the next document prints its operator tree instead of executing")
 	case ":analyze":
 		sh.analyze()
@@ -461,7 +481,8 @@ func (sh *shell) command(cmd string) bool {
 		fmt.Println(":let               list parameter bindings")
 		fmt.Println(":let name value    bind $name (value is JSON: 42, 3.5, \"str\", true)")
 		fmt.Println(":unlet name        remove a binding")
-		fmt.Println(":explain [doc]     print the compiled operator tree with est=N cardinalities (no doc: applies to the next document)")
+		fmt.Println(":explain [doc]     print the compiled operator tree with est=N cardinalities, using current :let bindings (no doc: applies to the next document)")
+		fmt.Println(":explain -json     same, as the structured PlanTree JSON (tooling form)")
 		fmt.Println(":analyze           rebuild graph statistics from a full scan and print them")
 		fmt.Println(":stats             cluster + fabric + plan cache counters")
 		fmt.Println(":examples          the paper's Table 2 queries plus shaping/parameter examples")

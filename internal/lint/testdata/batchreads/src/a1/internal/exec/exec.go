@@ -103,6 +103,64 @@ func HydrateSanctioned(g *core.Graph, tx *farm.Tx, frontier []core.VertexPtr) ([
 	return out, nil
 }
 
+// Bad: a recursive frontier expansion hydrating each frontier entry one
+// read at a time — the shape a `_recurse` executor must avoid. The outer
+// depth loop multiplies the per-ID round trips, but one diagnostic at the
+// read site is enough: the inner range over the frontier slice is the
+// violation.
+func ExpandRecursive(g *core.Graph, tx *farm.Tx, roots []core.VertexPtr, maxDepth int) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	frontier := roots
+	for depth := 1; depth <= maxDepth; depth++ {
+		var next []core.VertexPtr
+		for _, vp := range frontier {
+			v, err := g.ReadVertex(tx, vp) // want `per-ID ReadVertex inside a loop over frontier`
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			next = append(next, vp)
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// Bad (fact-driven): the recursion loop's per-ID read hides below a
+// helper; the facts layer still pins it to the frontier loop.
+func ExpandRecursiveViaHelper(g *core.Graph, tx *farm.Tx, roots []core.VertexPtr, maxDepth int) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	frontier := roots
+	for depth := 1; depth <= maxDepth; depth++ {
+		var next []core.VertexPtr
+		for _, vp := range frontier {
+			v, err := hydra.FetchOne(g, tx, vp) // want `per-ID read hidden below FetchOne inside a loop over frontier`
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			next = append(next, vp)
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// Good: the recursion loop batches each iteration's whole frontier, the
+// way execRecurse's expandBatch does.
+func ExpandRecursiveBatched(g *core.Graph, tx *farm.Tx, roots []core.VertexPtr, maxDepth int) ([]*core.Vertex, error) {
+	var out []*core.Vertex
+	frontier := roots
+	for depth := 1; depth <= maxDepth; depth++ {
+		vs, err := g.ReadVertices(tx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
 // Suppressed: the sanctioned owner-side pattern, justified inline.
 func OwnerSide(g *core.Graph, tx *farm.Tx, local []core.VertexPtr) ([]*core.Vertex, error) {
 	var out []*core.Vertex

@@ -35,6 +35,13 @@ const (
 	keyOrderBy = "_orderby"
 	keyGroupBy = "_groupby"
 	keyHaving  = "_having"
+
+	// `_recurse` and its object-local sub-keys.
+	keyRecurse  = "_recurse"
+	keyMin      = "_min"
+	keyMax      = "_max"
+	keyDir      = "_dir"
+	keyShortest = "_shortest"
 )
 
 // Op is a predicate comparison operator.
@@ -155,13 +162,38 @@ type EdgePattern struct {
 	Vertex *VertexPattern
 }
 
+// RecursePattern is a bounded-depth recursive traversal: expand the level's
+// frontier along Edge repeatedly, between Min and Max hops, with a
+// per-machine visited set deduplicating re-entries so the cost tracks the
+// reachable set, not the path count. Edge carries the label, direction, and
+// edge predicates (which prune the traversal); Edge.Vertex is the recursion
+// terminal — its type and predicates filter which visited vertices become
+// output rows, without pruning the expansion itself.
+type RecursePattern struct {
+	Edge *EdgePattern
+	Min  int // fewest hops before a vertex is emitted (>= 1)
+	Max  int // expansion bound (<= maxDepth)
+	// Shortest adds a per-row `_hops` column: the hop distance at first
+	// visit, which breadth-first expansion makes the shortest.
+	Shortest bool
+
+	// "$param" placeholders bound at execution time.
+	MinParam string
+	MaxParam string
+}
+
+// HopsColumn keys the synthetic per-row hop-distance value `_shortest`
+// emits.
+const HopsColumn = "_hops"
+
 // VertexPattern is one level of the traversal.
 type VertexPattern struct {
 	ID      string // primary key lookup rooting the level
 	Type    string // vertex type constraint (and index choice)
 	Preds   []Predicate
-	Edge    *EdgePattern   // the single chained traversal step
-	Matches []*EdgePattern // _match: existence subpatterns (star queries)
+	Edge    *EdgePattern    // the single chained traversal step
+	Recurse *RecursePattern // _recurse: bounded-depth frontier expansion
+	Matches []*EdgePattern  // _match: existence subpatterns (star queries)
 	Selects []FieldPath    // _select projections
 	Count   bool           // _select contains "_count(*)"
 
@@ -315,6 +347,11 @@ func collectParams(root *VertexPattern) []string {
 		for _, m := range vp.Matches {
 			walkEdge(m)
 		}
+		if vp.Recurse != nil {
+			add(vp.Recurse.MinParam)
+			add(vp.Recurse.MaxParam)
+			walkEdge(vp.Recurse.Edge)
+		}
 		walkEdge(vp.Edge)
 	}
 	walkEdge = func(ep *EdgePattern) {
@@ -347,6 +384,9 @@ func validateShaping(root *VertexPattern) error {
 	for vp := root; vp != nil; {
 		if vp.Edge != nil && vp.Edge.Vertex == nil {
 			vp.Edge.Vertex = &VertexPattern{}
+		}
+		if vp.Recurse != nil {
+			return validateRecurse(vp)
 		}
 		terminal := vp.Edge == nil
 		if !terminal && vp.shaped() {
@@ -473,11 +513,60 @@ func resolveHaving(vp *VertexPattern) error {
 	return nil
 }
 
+// validateRecurse checks a level hosting `_recurse`: the recursion must be
+// the chain's last step, its `_vertex` must be a plain terminal, and the
+// clauses recursion has no semantics for are rejected with CodeRecurse.
+func validateRecurse(vp *VertexPattern) error {
+	rp := vp.Recurse
+	if vp.Edge != nil {
+		return recurseError("may not combine with _out_edge/_in_edge on one level")
+	}
+	if vp.shaped() {
+		return recurseError("result shaping belongs on the _recurse _vertex, not its host level")
+	}
+	if len(vp.Selects) > 0 {
+		return recurseError("_select belongs on the _recurse _vertex, not its host level")
+	}
+	if rp.Edge.Vertex == nil {
+		rp.Edge.Vertex = &VertexPattern{}
+	}
+	rv := rp.Edge.Vertex
+	if rv.Edge != nil || rv.Recurse != nil {
+		return recurseError("_vertex must be terminal (no further traversal)")
+	}
+	if len(rv.Matches) > 0 {
+		return recurseError("_vertex does not support _match")
+	}
+	if len(rv.GroupBy) > 0 || len(rv.Having) > 0 {
+		return recurseError("does not support _groupby/_having")
+	}
+	if rv.ID != "" || rv.IDParam != "" {
+		return recurseError(`_vertex does not support "id"`)
+	}
+	for _, ob := range rv.Orders {
+		if isAggKey(ob.Path.Raw) {
+			return recurseError("_orderby %q (an aggregate column) requires _groupby", ob.Path.Raw)
+		}
+	}
+	if rp.Shortest && len(rv.Aggs) > 0 {
+		return recurseError("_shortest cannot combine with aggregate _select")
+	}
+	for _, m := range vp.Matches {
+		if err := rejectShaping(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func rejectShaping(ep *EdgePattern) error {
 	if ep == nil || ep.Vertex == nil {
 		return nil
 	}
 	vp := ep.Vertex
+	if vp.Recurse != nil {
+		return recurseError("not allowed inside _match subpatterns")
+	}
 	if vp.shaped() {
 		return errors.New("a1ql: result shaping not allowed inside _match subpatterns")
 	}
@@ -546,6 +635,16 @@ func parseVertexPattern(raw map[string]interface{}, depth int) (*VertexPattern, 
 				return nil, err
 			}
 			vp.Edge = ep
+		case keyRecurse:
+			rm, ok := v.(map[string]interface{})
+			if !ok {
+				return nil, errors.New("a1ql: _recurse must be an object")
+			}
+			rp, err := parseRecurse(rm, depth)
+			if err != nil {
+				return nil, err
+			}
+			vp.Recurse = rp
 		case keySelect:
 			list, ok := v.([]interface{})
 			if !ok {
@@ -697,6 +796,93 @@ func parseEdgePattern(raw map[string]interface{}, out bool, depth int) (*EdgePat
 		return nil, errors.New("a1ql: edge pattern requires _type")
 	}
 	return ep, nil
+}
+
+// parseRecurse parses the `_recurse` object. The bound keys (`_min`,
+// `_max`, `_dir`, `_shortest`) are consumed here; everything else —
+// `_type`, `_vertex`, edge predicates — parses as the edge pattern the
+// expansion follows. `_max` is required; `_min` defaults to 1; `_dir`
+// defaults to "out".
+func parseRecurse(raw map[string]interface{}, depth int) (*RecursePattern, error) {
+	rp := &RecursePattern{Min: 1}
+	out := true
+	sawMax := false
+	em := make(map[string]interface{}, len(raw))
+	for _, k := range sortedKeys(raw) {
+		v := raw[k]
+		switch k {
+		case keyMin:
+			if name, ok, err := countParam(v); err != nil {
+				return nil, err
+			} else if ok {
+				rp.MinParam = name
+				rp.Min = 0
+				continue
+			}
+			n, err := parseCount(k, v)
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, recurseError("_min must be >= 1")
+			}
+			rp.Min = n
+		case keyMax:
+			sawMax = true
+			if name, ok, err := countParam(v); err != nil {
+				return nil, err
+			} else if ok {
+				rp.MaxParam = name
+				continue
+			}
+			n, err := parseCount(k, v)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkRecurseMax(n); err != nil {
+				return nil, err
+			}
+			rp.Max = n
+		case keyDir:
+			s, ok := v.(string)
+			if !ok || (s != "out" && s != "in") {
+				return nil, recurseError(`_dir must be "out" or "in"`)
+			}
+			out = s == "out"
+		case keyShortest:
+			b, ok := v.(bool)
+			if !ok {
+				return nil, recurseError("_shortest must be a boolean")
+			}
+			rp.Shortest = b
+		default:
+			em[k] = v
+		}
+	}
+	if !sawMax {
+		return nil, recurseError("requires _max")
+	}
+	ep, err := parseEdgePattern(em, out, depth)
+	if err != nil {
+		return nil, err
+	}
+	rp.Edge = ep
+	if rp.MinParam == "" && rp.MaxParam == "" && rp.Min > rp.Max {
+		return nil, recurseError("_min %d > _max %d", rp.Min, rp.Max)
+	}
+	return rp, nil
+}
+
+// checkRecurseMax bounds a `_max` value (static or bound), shared by the
+// parser and the binder.
+func checkRecurseMax(n int) error {
+	if n < 1 {
+		return recurseError("_max must be >= 1")
+	}
+	if n > maxDepth {
+		return recurseError("_max %d exceeds the depth cap %d", n, maxDepth)
+	}
+	return nil
 }
 
 // maxShapeCount bounds _limit and _skip: large enough for any real page,
@@ -1024,11 +1210,15 @@ func jsonToBond(v interface{}) (bond.Value, error) {
 	}
 }
 
-// Depth returns the number of traversal levels (hops + 1).
+// Depth returns the number of traversal levels (hops + 1). A `_recurse`
+// terminal counts as one level regardless of its expansion bound.
 func (q *Query) Depth() int {
 	d := 0
 	for vp := q.Root; vp != nil; {
 		d++
+		if vp.Recurse != nil {
+			return d + 1
+		}
 		if vp.Edge == nil {
 			break
 		}

@@ -51,8 +51,9 @@ func DecodeToken(token string) (fabric.MachineID, uint64, error) {
 
 type cachedResult struct {
 	rows    []Row
-	groups  []GroupRow // grouped-aggregate remainder (`_groupby` results page too)
-	pg      *pager     // streamed-group remainder: pages pull from live run/spill merges
+	groups  []GroupRow    // grouped-aggregate remainder (`_groupby` results page too)
+	pg      *pager        // streamed-group remainder: pages pull from live run/spill merges
+	rpg     *recursePager // `_recurse` remainder: pages resume the parked expansion
 	expires time.Duration
 }
 
@@ -87,6 +88,31 @@ func (rc *resultCache) putStream(c *fabric.Ctx, ttl time.Duration, pg *pager) ui
 	return id
 }
 
+// putRecurse caches a mid-flight `_recurse` expansion: fetches step the
+// distributed frontier expansion itself instead of slicing a materialized
+// remainder, so deep reachable sets never sit fully resident behind a
+// token.
+func (rc *resultCache) putRecurse(c *fabric.Ctx, ttl time.Duration, rpg *recursePager) uint64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.nextID++
+	id := rc.nextID
+	rc.entries[id] = &cachedResult{rpg: rpg, expires: c.Now() + ttl}
+	return id
+}
+
+// closeEntry tears down whichever live pager an entry carries. Must be
+// called without rc.mu held: pager teardown can release spill tables and
+// snapshot pins.
+func (entry *cachedResult) closeEntry(e *Engine) {
+	if entry.pg != nil {
+		entry.pg.close(e)
+	}
+	if entry.rpg != nil {
+		entry.rpg.close(e)
+	}
+}
+
 // Fetch returns the next page for a continuation token. It must execute on
 // the coordinator that issued the token (frontends guarantee this via
 // DecodeToken routing). The token carries the page size that shaped the
@@ -112,37 +138,42 @@ func (e *Engine) Fetch(c *fabric.Ctx, token string) (*Result, error) {
 	if ok && c.Now() >= entry.expires {
 		delete(rc.entries, id)
 		rc.mu.Unlock()
-		if entry.pg != nil {
-			entry.pg.close(e)
-		}
+		entry.closeEntry(e)
 		return nil, classify(fmt.Errorf("%w: expired; restart the query", ErrBadToken))
 	}
 	if !ok {
 		rc.mu.Unlock()
 		return nil, classify(fmt.Errorf("%w: expired; restart the query", ErrBadToken))
 	}
-	if entry.pg != nil {
-		// Streamed-group entry: paging it may pull run tails over the fabric,
-		// so the entry is claimed (removed) under the lock and the pull runs
-		// unlocked — a local lock must never be held across a fabric round
-		// trip. A concurrent Fetch of the same token sees no entry and gets
-		// ErrBadToken, the same contract as racing a sweeper expiry.
+	if entry.pg != nil || entry.rpg != nil {
+		// Live-pager entry (streamed groups or a parked `_recurse`
+		// expansion): paging it pulls run tails or steps the expansion over
+		// the fabric, so the entry is claimed (removed) under the lock and
+		// the pull runs unlocked — a local lock must never be held across a
+		// fabric round trip. A concurrent Fetch of the same token sees no
+		// entry and gets ErrBadToken, the same contract as racing a sweeper
+		// expiry.
 		delete(rc.entries, id)
 		rc.mu.Unlock()
 		res := &Result{}
-		page, more, err := entry.pg.nextPage(c, pageSize, &res.Stats)
+		var more bool
+		var err error
+		if entry.pg != nil {
+			res.Groups, more, err = entry.pg.nextPage(c, pageSize, &res.Stats)
+		} else {
+			res.Rows, more, err = entry.rpg.nextPage(c, pageSize, &res.Stats)
+		}
 		if err != nil {
-			entry.pg.close(e)
+			entry.closeEntry(e)
 			return nil, classify(err)
 		}
-		res.Groups = page
 		if more {
 			rc.mu.Lock()
 			rc.entries[id] = entry // same id: the client's token stays valid
 			rc.mu.Unlock()
 			res.Continuation = token
 		} else {
-			entry.pg.close(e)
+			entry.closeEntry(e)
 		}
 		return res, nil
 	}
@@ -190,8 +221,8 @@ func (e *Engine) Release(c *fabric.Ctx, token string) error {
 	entry := rc.entries[p.ID]
 	delete(rc.entries, p.ID)
 	rc.mu.Unlock()
-	if entry != nil && entry.pg != nil {
-		entry.pg.close(e)
+	if entry != nil {
+		entry.closeEntry(e)
 	}
 	return nil
 }
@@ -212,21 +243,21 @@ func (e *Engine) PendingResults(m fabric.MachineID) int {
 func (e *Engine) ExpireResults(c *fabric.Ctx) int {
 	rc := e.caches[c.M]
 	now := c.Now()
-	var closed []*pager
+	var closed []*cachedResult
 	rc.mu.Lock()
 	n := 0
 	for id, entry := range rc.entries {
 		if now >= entry.expires {
 			delete(rc.entries, id)
-			if entry.pg != nil {
-				closed = append(closed, entry.pg)
+			if entry.pg != nil || entry.rpg != nil {
+				closed = append(closed, entry)
 			}
 			n++
 		}
 	}
 	rc.mu.Unlock()
-	for _, pg := range closed {
-		pg.close(e)
+	for _, entry := range closed {
+		entry.closeEntry(e)
 	}
 	return n + e.runs[c.M].expire(now)
 }
@@ -241,9 +272,7 @@ func (e *Engine) DropResultsOn(m fabric.MachineID) {
 	rc.entries = make(map[uint64]*cachedResult)
 	rc.mu.Unlock()
 	for _, entry := range old {
-		if entry.pg != nil {
-			entry.pg.close(e)
-		}
+		entry.closeEntry(e)
 	}
 	e.runs[m].reset()
 }

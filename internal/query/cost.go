@@ -208,8 +208,10 @@ type startCandidate struct {
 // untouched.
 func rankStartCandidates(sp *StartPlan, pat *VertexPattern, pc *planContext) []startCandidate {
 	if sp.ByID {
+		// A bound copy keeps IDParam alongside the substituted ID, so the
+		// placeholder renders only while the value is still unbound.
 		id := pat.ID
-		if pat.IDParam != "" {
+		if id == "" && pat.IDParam != "" {
 			id = "$" + pat.IDParam
 		}
 		return []startCandidate{{kind: srcIDLookup, est: 1,
@@ -484,10 +486,61 @@ func estimateLevels(pl *Plan, pats []*VertexPattern, pc *planContext, start *sta
 		if i == 0 {
 			exclude = start.consumedField(pat)
 		}
+		if pat.Recurse != nil {
+			_, emitted := pc.recurseEstimates(pat.Recurse, pats[i+1], cur*pc.residualSelectivity(pat, exclude))
+			out[i+1] = emitted
+			cur = emitted
+			continue
+		}
 		cur = cur * pc.residualSelectivity(pat, exclude) * pc.fanout(pat.Edge)
 		out[i+1] = cur
 	}
 	return out
+}
+
+// recurseEstimates predicts a `_recurse` expansion from the edge label's
+// degree statistics: iteration k's newly-visited estimate is the previous
+// frontier times the label's mean fan-out, capped by the unvisited
+// remainder of the terminal type's population (the visited set makes the
+// reachable set — not the path count — the ceiling). iters holds one entry
+// per iteration 1..Max; emitted sums the iterations >= Min, scaled by the
+// terminal pattern's residual selectivity. An unbound `_max` (Explain on
+// an unbound document) returns no iterations and estUnknown.
+func (pc *planContext) recurseEstimates(rp *RecursePattern, term *VertexPattern, roots float64) (iters []float64, emitted float64) {
+	if rp.Max < 1 || roots < 0 || pc.sum == nil {
+		return nil, estUnknown
+	}
+	fan := pc.fanout(rp.Edge)
+	capN, haveCap := 0.0, false
+	if term.Type != "" {
+		capN, haveCap = pc.typeCount(term.Type)
+	}
+	min := rp.Min
+	if min < 1 {
+		min = 1 // unbound $min: assume the default
+	}
+	visited := roots
+	cur := roots
+	total := 0.0
+	iters = make([]float64, 0, rp.Max)
+	for k := 1; k <= rp.Max; k++ {
+		next := cur * fan
+		if haveCap {
+			if remaining := capN - visited; next > remaining {
+				next = remaining
+			}
+			if next < 0 {
+				next = 0
+			}
+		}
+		iters = append(iters, next)
+		visited += next
+		if k >= min {
+			total += next
+		}
+		cur = next
+	}
+	return iters, total * pc.residualSelectivity(term, "")
 }
 
 // roundEst converts a float estimate to the int64 the Stats report.

@@ -29,6 +29,10 @@ const (
 	// CodeWorkingSet fast-fails queries whose intermediate state outgrew
 	// the coordinator's budget.
 	CodeWorkingSet
+	// CodeRecurse rejects `_recurse` misuse: `_min` > `_max`, a depth
+	// bound past the traversal cap, or `_recurse` combined with clauses
+	// that have no recursive semantics.
+	CodeRecurse
 )
 
 // String names the code.
@@ -44,6 +48,8 @@ func (c Code) String() string {
 		return "bad_token"
 	case CodeWorkingSet:
 		return "working_set"
+	case CodeRecurse:
+		return "recurse"
 	default:
 		return "internal"
 	}
@@ -94,4 +100,9 @@ func parseError(err error) error {
 // paramError builds a CodeBadParam error.
 func paramError(format string, args ...interface{}) error {
 	return &Error{Code: CodeBadParam, Err: fmt.Errorf("a1ql: "+format, args...)}
+}
+
+// recurseError builds a CodeRecurse error (`_recurse` misuse).
+func recurseError(format string, args ...interface{}) error {
+	return &Error{Code: CodeRecurse, Err: fmt.Errorf("a1ql: _recurse "+format, args...)}
 }

@@ -57,6 +57,14 @@ type Config struct {
 	// allocates fresh memory. Ablation knob for the allocs bench report
 	// and for bisecting suspected recycle-too-early bugs.
 	NoPooling bool
+	// NoRecurseDedup disables the per-machine visited sets of `_recurse`
+	// expansion: every iteration re-reads and re-expands every candidate
+	// reached, path by path, bounded only by `_max` and MaxWorkingSet —
+	// the naive baseline the recurse bench report compares against. The
+	// result may over-report vertices whose shortest distance from a root
+	// is below `_min` (a longer path can reach them inside the window),
+	// so this is an ablation knob, not a production mode.
+	NoRecurseDedup bool
 	// NoGroupStreaming disables the streamed grouped-aggregate path:
 	// workers ship whole group maps and the coordinator accumulates every
 	// group before finalizing — the pre-streaming behavior, kept as the
@@ -313,6 +321,11 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	var aggStates []aggState
 	var groups map[string]*groupState
 	var gcur *groupCursor
+	var rpager *recursePager
+	pageSize := e.cfg.PageSize
+	if q.Hints.PageSize > 0 {
+		pageSize = q.Hints.PageSize
+	}
 
 	frontier, orderedRows, ordered, err := st.execStart(qc, ctx, pats[0], pl.Levels[0])
 	if err != nil {
@@ -341,6 +354,23 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 				if ok {
 					st.member = member
 				}
+			}
+			// Recursive frontier expansion: `_recurse` consumes the rest of
+			// the chain (host + `_vertex` terminal) in one bounded-depth
+			// BFS. A completed expansion falls through to the shared shaping
+			// below; a streamed one returns its first page with the
+			// expansion parked mid-flight behind the continuation token.
+			if lp.Recurse != nil {
+				rRows, rAggs, pgr, err := st.execRecurse(qc, frontier, pat, pats[level+1], level, pageSize)
+				st.bufs.putAddrSet(st.member)
+				st.member = nil
+				if err != nil {
+					return nil, err
+				}
+				rows = rRows
+				aggStates = rAggs
+				rpager = pgr
+				break
 			}
 			// Ordered traversal terminal: when the statistics say per-machine
 			// index-order partial scans beat materializing the frontier, each
@@ -424,11 +454,13 @@ func (e *Engine) run(c *fabric.Ctx, g *core.Graph, q *Query) (*Result, error) {
 	}
 
 	res := &Result{}
-	pageSize := e.cfg.PageSize
-	if q.Hints.PageSize > 0 {
-		pageSize = q.Hints.PageSize
-	}
 	switch {
+	case rpager != nil:
+		// Mid-expansion page: the rows in hand are the first page and the
+		// parked expansion produces the rest on demand through Fetch.
+		res.Rows = rows
+		id := e.caches[qc.M].putRecurse(qc, e.cfg.ResultTTL, rpager)
+		res.Continuation = encodeToken(qc.M, id, pageSize)
 	case tl.Group != nil:
 		if gcur != nil {
 			// Streamed grouped aggregates: the unordered form pages the
@@ -581,8 +613,40 @@ func (st *execState) initLevels(pl *Plan, pats []*VertexPattern) {
 				dir = "in"
 			}
 			src = fmt.Sprintf("Traverse(%s %s)", dir, ep.Type)
+		} else if rp := pats[i-1].Recurse; rp != nil {
+			dir := "out"
+			if !rp.Edge.Out {
+				dir = "in"
+			}
+			src = fmt.Sprintf("Recurse(%s %s)", dir, rp.Edge.Type)
 		}
 		st.levels[i] = LevelStats{Depth: i, Source: src, EstRows: roundEst(ests[i])}
+	}
+	// A `_recurse` chain appends one record per iteration after the level
+	// entries — the est half of the per-iteration est/act feedback; the
+	// expansion fills act as iterations run (never-reached iterations
+	// report 0 new vertices).
+	for i, vp := range pats {
+		rp := vp.Recurse
+		if rp == nil || rp.Max < 1 {
+			continue
+		}
+		exclude := ""
+		if i == 0 {
+			exclude = st.chosen.consumedField(vp)
+		}
+		roots := float64(estUnknown)
+		if ests[i] >= 0 {
+			roots = ests[i] * st.pc.residualSelectivity(vp, exclude)
+		}
+		iters, _ := st.pc.recurseEstimates(rp, pats[i+1], roots)
+		for k := 1; k <= rp.Max; k++ {
+			est := float64(estUnknown)
+			if k-1 < len(iters) {
+				est = iters[k-1]
+			}
+			st.levels = append(st.levels, LevelStats{Depth: i + k, Source: fmt.Sprintf("Iter %d/%d", k, rp.Max), EstRows: roundEst(est)})
+		}
 	}
 }
 

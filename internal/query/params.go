@@ -94,8 +94,51 @@ func (q *Query) Bind(params Params) (*Query, error) {
 	return &Query{Root: root, Hints: q.Hints, ParamNames: q.ParamNames, fromCache: q.fromCache, bound: true, plan: q.plan}, nil
 }
 
+// bindLoose resolves the placeholders present in params and leaves the
+// rest unbound — the Explain path, where a partially-bound document must
+// still render (absent names print as placeholders and estimate as average
+// values). Names the document does not reference are ignored rather than
+// rejected. The result is NOT marked executable.
+func (q *Query) bindLoose(params Params) (*Query, error) {
+	if len(q.ParamNames) == 0 || len(params) == 0 {
+		return q, nil
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vals := make(map[string]bond.Value, len(params))
+	for _, name := range names {
+		known := false
+		for _, n := range q.ParamNames {
+			if n == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			continue
+		}
+		bv, err := bondParam(name, params[name])
+		if err != nil {
+			return nil, err
+		}
+		vals[name] = bv
+	}
+	b := binder{vals: vals, loose: true}
+	root, err := b.vertex(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Root: root, Hints: q.Hints, ParamNames: q.ParamNames, fromCache: q.fromCache, plan: q.plan}, nil
+}
+
 type binder struct {
 	vals map[string]bond.Value
+	// loose: a missing bind value leaves its placeholder in place instead
+	// of failing (the Explain path).
+	loose bool
 }
 
 func (b *binder) value(name string) (bond.Value, error) {
@@ -106,42 +149,108 @@ func (b *binder) value(name string) (bond.Value, error) {
 	return v, nil
 }
 
+// lookup resolves one placeholder; in loose mode a missing value reports
+// ok=false instead of an error.
+func (b *binder) lookup(name string) (bond.Value, bool, error) {
+	v, ok := b.vals[name]
+	if !ok {
+		if b.loose {
+			return bond.Null, false, nil
+		}
+		return bond.Null, false, paramError("unbound parameter $%s", name)
+	}
+	return v, true, nil
+}
+
+// countOpt resolves one integer placeholder; in loose mode a missing value
+// reports ok=false instead of an error.
+func (b *binder) countOpt(name string) (int, bool, error) {
+	if _, ok := b.vals[name]; !ok && b.loose {
+		return 0, false, nil
+	}
+	n, err := b.count(name)
+	if err != nil {
+		return 0, false, err
+	}
+	return n, true, nil
+}
+
 func (b *binder) vertex(vp *VertexPattern) (*VertexPattern, error) {
 	if vp == nil {
 		return nil, nil
 	}
 	out := *vp
 	if vp.IDParam != "" {
-		v, err := b.value(vp.IDParam)
+		v, ok, err := b.lookup(vp.IDParam)
 		if err != nil {
 			return nil, err
 		}
-		if v.Kind() != bond.KindString {
-			return nil, paramError("parameter $%s: id requires a string, got %v", vp.IDParam, v.Kind())
+		if ok {
+			if v.Kind() != bond.KindString {
+				return nil, paramError("parameter $%s: id requires a string, got %v", vp.IDParam, v.Kind())
+			}
+			out.ID = v.AsString()
 		}
-		out.ID = v.AsString()
 	}
 	if vp.LimitParam != "" {
-		n, err := b.count(vp.LimitParam)
+		n, ok, err := b.countOpt(vp.LimitParam)
 		if err != nil {
 			return nil, err
 		}
-		if n < 1 {
-			return nil, paramError("parameter $%s: _limit must be >= 1", vp.LimitParam)
+		if ok {
+			if n < 1 {
+				return nil, paramError("parameter $%s: _limit must be >= 1", vp.LimitParam)
+			}
+			out.Limit = n
 		}
-		out.Limit = n
 	}
 	if vp.SkipParam != "" {
-		n, err := b.count(vp.SkipParam)
+		n, ok, err := b.countOpt(vp.SkipParam)
 		if err != nil {
 			return nil, err
 		}
-		if n < 0 {
-			return nil, paramError("parameter $%s: _skip must be >= 0", vp.SkipParam)
+		if ok {
+			if n < 0 {
+				return nil, paramError("parameter $%s: _skip must be >= 0", vp.SkipParam)
+			}
+			out.Skip = n
 		}
-		out.Skip = n
 	}
 	var err error
+	if vp.Recurse != nil {
+		rp := *vp.Recurse
+		if rp.MinParam != "" {
+			n, ok, err := b.countOpt(rp.MinParam)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if n < 1 {
+					return nil, recurseError("parameter $%s: _min must be >= 1", rp.MinParam)
+				}
+				rp.Min = n
+			}
+		}
+		if rp.MaxParam != "" {
+			n, ok, err := b.countOpt(rp.MaxParam)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if err := checkRecurseMax(n); err != nil {
+					return nil, err
+				}
+				rp.Max = n
+			}
+		}
+		if rp.Max > 0 && rp.Min > rp.Max {
+			return nil, recurseError("_min %d > _max %d", rp.Min, rp.Max)
+		}
+		if rp.Edge, err = b.edge(vp.Recurse.Edge); err != nil {
+			return nil, err
+		}
+		out.Recurse = &rp
+	}
 	if out.Preds, err = b.preds(vp.Preds); err != nil {
 		return nil, err
 	}
@@ -187,11 +296,13 @@ func (b *binder) preds(preds []Predicate) ([]Predicate, error) {
 		if out[i].Param == "" {
 			continue
 		}
-		v, err := b.value(out[i].Param)
+		v, ok, err := b.lookup(out[i].Param)
 		if err != nil {
 			return nil, err
 		}
-		out[i].Value = v
+		if ok {
+			out[i].Value = v
+		}
 	}
 	return out, nil
 }
@@ -206,11 +317,13 @@ func (b *binder) having(hps []HavingPred) ([]HavingPred, error) {
 		if out[i].Param == "" {
 			continue
 		}
-		v, err := b.value(out[i].Param)
+		v, ok, err := b.lookup(out[i].Param)
 		if err != nil {
 			return nil, err
 		}
-		out[i].Value = v
+		if ok {
+			out[i].Value = v
+		}
 	}
 	return out, nil
 }

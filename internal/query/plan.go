@@ -2,8 +2,10 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
+	"a1/internal/bond"
 	"a1/internal/core"
 	"a1/internal/fabric"
 )
@@ -109,6 +111,16 @@ type LevelPlan struct {
 	// estimate that favors materialize-and-sort — falls back to the sort
 	// path.
 	OrderedTraverse *OrderedScanPlan
+	// Recurse marks a level hosting a `_recurse` frontier expansion; the
+	// next (and last) level is the recursion terminal.
+	Recurse *RecursePlan
+}
+
+// RecursePlan is the compiled form of a `_recurse` expansion. Bounds live
+// in the (possibly bound) pattern, not the structural plan.
+type RecursePlan struct {
+	Type string // edge label expanded
+	Out  bool   // direction
 }
 
 // Plan is a compiled query: one LevelPlan per traversal level.
@@ -116,19 +128,31 @@ type Plan struct {
 	Levels []*LevelPlan
 }
 
-// terminalOf returns the main chain's terminal pattern.
+// terminalOf returns the main chain's terminal pattern. A `_recurse` level
+// terminates the chain at the recursion's `_vertex`.
 func terminalOf(vp *VertexPattern) *VertexPattern {
-	for vp.Edge != nil {
+	for {
+		if vp.Recurse != nil {
+			return vp.Recurse.Edge.Vertex
+		}
+		if vp.Edge == nil {
+			return vp
+		}
 		vp = vp.Edge.Vertex
 	}
-	return vp
 }
 
-// patternChain returns the main-chain patterns, one per level.
+// patternChain returns the main-chain patterns, one per level. A level
+// hosting `_recurse` contributes two entries: the host and the recursion
+// terminal (`_recurse`'s `_vertex`).
 func patternChain(root *VertexPattern) []*VertexPattern {
 	var pats []*VertexPattern
 	for vp := root; vp != nil; {
 		pats = append(pats, vp)
+		if vp.Recurse != nil {
+			pats = append(pats, vp.Recurse.Edge.Vertex)
+			break
+		}
 		if vp.Edge == nil {
 			break
 		}
@@ -168,18 +192,22 @@ func compilePlan(q *Query) *Plan {
 	pats := patternChain(q.Root)
 	pl := &Plan{}
 	for depth, vp := range pats {
+		afterRecurse := depth > 0 && pats[depth-1].Recurse != nil
 		lp := &LevelPlan{
 			Depth:     depth,
-			Terminal:  vp.Edge == nil,
+			Terminal:  vp.Edge == nil && vp.Recurse == nil,
 			HasFilter: len(vp.Preds) > 0 || len(vp.Matches) > 0 || vp.Type != "",
 			Traverse:  vp.Edge != nil,
+		}
+		if vp.Recurse != nil {
+			lp.Recurse = &RecursePlan{Type: vp.Recurse.Edge.Type, Out: vp.Recurse.Edge.Out}
 		}
 		if lp.Terminal && len(vp.GroupBy) > 0 {
 			lp.Group = &GroupPlan{By: vp.GroupBy, Having: len(vp.Having) > 0}
 		}
 		if depth == 0 {
 			lp.Start = compileStart(vp)
-		} else if vp.Type != "" {
+		} else if vp.Type != "" && !afterRecurse {
 			// Traversal-level pushdown candidates: an indexed predicate can
 			// filter the frontier by membership before any vertex read. The
 			// type constraint is required — it names the index to consult.
@@ -215,7 +243,7 @@ func compileStart(root *VertexPattern) *StartPlan {
 	}
 	sp.EqPreds = plainEqPreds(root.Preds)
 	sp.HasRange = plainRangePreds(root.Preds)
-	terminal := root.Edge == nil
+	terminal := root.Edge == nil && root.Recurse == nil
 	// Ordered index scan: only worthwhile (and only correct without a
 	// second pass for every keyless vertex) when a limit bounds the walk —
 	// the top-K case the operator exists for.
@@ -249,6 +277,27 @@ func (q *Query) Plan() *Plan {
 // operators against the live catalog; errors degrade to "not indexed".
 type indexProbe func(typeName, field string) bool
 
+// PlanNode is one operator of the structured Explain tree. Est and Act are
+// row cardinalities; -1 means unknown (no statistics, or — for Act — a tree
+// produced without executing the query).
+type PlanNode struct {
+	Op       string      `json:"op"`
+	Detail   string      `json:"detail,omitempty"`
+	Est      int64       `json:"est"`
+	Act      int64       `json:"act"`
+	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// PlanTree is the structured form of Explain: one node per traversal level
+// (Op "Level", Detail the frontier-source operator), with the level's
+// operators — IndexFilter, Filter, Traverse, Recurse (and its per-iteration
+// Iter children), GroupAgg, Having, Aggregate, Shape — as children. The
+// string Explain rendering is derived from this tree, so the two forms
+// always agree.
+type PlanTree struct {
+	Levels []*PlanNode `json:"levels"`
+}
+
 // Explain renders the compiled operator tree for a query document,
 // resolving index-candidate operators against the live catalog and ranking
 // them against live statistics, so the printed operator is the one that
@@ -256,15 +305,40 @@ type indexProbe func(typeName, field string) bool
 // document may reference unbound "$name" parameters; they print as
 // placeholders and estimate as average values.
 func (e *Engine) Explain(c *fabric.Ctx, g *core.Graph, doc []byte) (string, error) {
-	q, _, err := e.plan(doc, false)
+	pt, err := e.ExplainPlan(c, g, doc, nil)
 	if err != nil {
 		return "", err
 	}
-	return q.Plan().Explain(q, newPlanContext(c, e, g)), nil
+	return pt.String(), nil
+}
+
+// ExplainPlan is the structured Explain: the same resolved operator tree
+// the string form renders, as typed nodes. params, when non-empty, bind the
+// document's placeholders loosely (present names bound, absent names left
+// as placeholders) so plan-affecting parameters — predicate constants,
+// `_limit`, `_recurse` bounds — shape the tree the way they would shape the
+// execution.
+func (e *Engine) ExplainPlan(c *fabric.Ctx, g *core.Graph, doc []byte, params Params) (*PlanTree, error) {
+	q, _, err := e.plan(doc, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) > 0 {
+		if q, err = q.bindLoose(params); err != nil {
+			return nil, err
+		}
+	}
+	return q.Plan().Tree(q, newPlanContext(c, e, g)), nil
 }
 
 // Explain formats the plan as an indented operator tree.
 func (pl *Plan) Explain(q *Query, pc *planContext) string {
+	return pl.Tree(q, pc).String()
+}
+
+// Tree resolves the plan's candidate operators against the live catalog and
+// statistics and returns the structured operator tree.
+func (pl *Plan) Tree(q *Query, pc *planContext) *PlanTree {
 	pats := patternChain(q.Root)
 	var ests []float64
 	var start startCandidate
@@ -273,13 +347,12 @@ func (pl *Plan) Explain(q *Query, pc *planContext) string {
 		start = cands[0]
 		ests = estimateLevels(pl, pats, pc, &start)
 	}
-	var b strings.Builder
+	pt := &PlanTree{}
 	for i, lp := range pl.Levels {
 		if i >= len(pats) {
 			break
 		}
 		vp := pats[i]
-		indent := strings.Repeat("  ", i)
 		src := "Frontier"
 		if i == 0 && lp.Start != nil {
 			src = start.label
@@ -291,35 +364,119 @@ func (pl *Plan) Explain(q *Query, pc *planContext) string {
 				src = choice.label
 			}
 		}
-		est := ""
+		est := int64(estUnknown)
 		if i < len(ests) && ests[i] >= 0 {
-			est = fmt.Sprintf(" est=%d", roundEst(ests[i]))
+			est = roundEst(ests[i])
 		}
-		fmt.Fprintf(&b, "%sL%d %s%s\n", indent, i, src, est)
+		lv := &PlanNode{Op: "Level", Detail: src, Est: est, Act: estUnknown}
 		if lp.IndexFilter != nil {
-			fest := ""
+			fest := int64(estUnknown)
 			if n, ok := pc.filterEstimate(vp, lp.IndexFilter); ok {
-				fest = fmt.Sprintf(" est=%d", roundEst(n))
+				fest = roundEst(n)
 			}
-			fmt.Fprintf(&b, "%s  IndexFilter(%s)%s\n", indent, describeIndexFilter(lp.IndexFilter, vp, pc.probe), fest)
+			lv.Children = append(lv.Children, &PlanNode{
+				Op: "IndexFilter", Detail: describeIndexFilter(lp.IndexFilter, vp, pc.probe),
+				Est: fest, Act: estUnknown,
+			})
 		}
 		if lp.HasFilter {
-			fmt.Fprintf(&b, "%s  Filter(%s)\n", indent, describeFilter(vp))
+			lv.Children = append(lv.Children, &PlanNode{
+				Op: "Filter", Detail: describeFilter(vp), Est: estUnknown, Act: estUnknown,
+			})
 		}
-		if lp.Terminal {
-			for _, line := range describeTerminal(vp) {
-				fmt.Fprintf(&b, "%s  %s\n", indent, line)
+		switch {
+		case lp.Recurse != nil:
+			rootsEst := float64(estUnknown)
+			if i < len(ests) && ests[i] >= 0 && pc.sum != nil {
+				exclude := ""
+				if i == 0 {
+					exclude = start.consumedField(vp)
+				}
+				rootsEst = ests[i] * pc.residualSelectivity(vp, exclude)
 			}
-		} else {
+			lv.Children = append(lv.Children, recurseNode(vp.Recurse, pats[i+1], pc, rootsEst))
+		case lp.Terminal:
+			lv.Children = append(lv.Children, terminalNodes(vp)...)
+		default:
 			ep := vp.Edge
 			dir := "out"
 			if !ep.Out {
 				dir = "in"
 			}
-			fmt.Fprintf(&b, "%s  Traverse(%s %s)\n", indent, dir, ep.Type)
+			lv.Children = append(lv.Children, &PlanNode{
+				Op: "Traverse", Detail: dir + " " + ep.Type, Est: estUnknown, Act: estUnknown,
+			})
+		}
+		pt.Levels = append(pt.Levels, lv)
+	}
+	return pt
+}
+
+// recurseNode builds the Recurse operator node with one Iter child per
+// expansion iteration, each carrying its newly-visited estimate.
+func recurseNode(rp *RecursePattern, term *VertexPattern, pc *planContext, rootsEst float64) *PlanNode {
+	dir := "out"
+	if !rp.Edge.Out {
+		dir = "in"
+	}
+	lo := strconv.Itoa(rp.Min)
+	if rp.MinParam != "" && rp.Min == 0 {
+		lo = "$" + rp.MinParam
+	}
+	hi := strconv.Itoa(rp.Max)
+	if rp.MaxParam != "" && rp.Max == 0 {
+		hi = "$" + rp.MaxParam
+	}
+	detail := fmt.Sprintf("%s %s, %s..%s", dir, rp.Edge.Type, lo, hi)
+	if rp.Shortest {
+		detail += ", shortest"
+	}
+	n := &PlanNode{Op: "Recurse", Detail: detail, Est: estUnknown, Act: estUnknown}
+	iters, emitted := pc.recurseEstimates(rp, term, rootsEst)
+	if emitted >= 0 {
+		n.Est = roundEst(emitted)
+	}
+	for k, it := range iters {
+		n.Children = append(n.Children, &PlanNode{
+			Op: "Iter", Detail: fmt.Sprintf("%d/%d", k+1, rp.Max),
+			Est: roundEst(it), Act: estUnknown,
+		})
+	}
+	return n
+}
+
+// estSuffix renders a node cardinality annotation: ` est=N`, plus ` act=M`
+// when the tree carries execution feedback.
+func estSuffix(n *PlanNode) string {
+	s := ""
+	if n.Est >= 0 {
+		s += fmt.Sprintf(" est=%d", n.Est)
+	}
+	if n.Act >= 0 {
+		s += fmt.Sprintf(" act=%d", n.Act)
+	}
+	return s
+}
+
+// String renders the tree in the indented `L%d <op> est=N` form the string
+// Explain has always produced.
+func (pt *PlanTree) String() string {
+	var b strings.Builder
+	for i, lv := range pt.Levels {
+		indent := strings.Repeat("  ", i)
+		fmt.Fprintf(&b, "%sL%d %s%s\n", indent, i, lv.Detail, estSuffix(lv))
+		for _, ch := range lv.Children {
+			renderNode(&b, ch, indent+"  ")
 		}
 	}
 	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *PlanNode, indent string) {
+	fmt.Fprintf(b, "%s%s(%s)%s\n", indent, n.Op, n.Detail, estSuffix(n))
+	for _, ch := range n.Children {
+		renderNode(b, ch, indent+"  ")
+	}
 }
 
 // describeIndexFilter resolves which membership index a traversal level
@@ -359,9 +516,12 @@ func describeFilter(vp *VertexPattern) string {
 	return strings.Join(parts, ", ")
 }
 
-// describeTerminal lists the terminal level's shaping operators.
-func describeTerminal(vp *VertexPattern) []string {
-	var lines []string
+// terminalNodes builds the terminal level's shaping operator nodes.
+func terminalNodes(vp *VertexPattern) []*PlanNode {
+	node := func(op, detail string) *PlanNode {
+		return &PlanNode{Op: op, Detail: detail, Est: estUnknown, Act: estUnknown}
+	}
+	var lines []*PlanNode
 	if len(vp.GroupBy) > 0 {
 		var keys, aggs []string
 		for _, fp := range vp.GroupBy {
@@ -370,21 +530,21 @@ func describeTerminal(vp *VertexPattern) []string {
 		for _, a := range vp.Aggs {
 			aggs = append(aggs, a.Raw)
 		}
-		lines = append(lines, fmt.Sprintf("GroupAgg(by %s: %s)",
-			strings.Join(keys, ", "), strings.Join(aggs, ", ")))
+		lines = append(lines, node("GroupAgg", fmt.Sprintf("by %s: %s",
+			strings.Join(keys, ", "), strings.Join(aggs, ", "))))
 		if len(vp.Having) > 0 {
 			var hps []string
 			for _, hp := range vp.Having {
 				hps = append(hps, fmt.Sprintf("%s %s %s", hp.Raw, opName(hp.Op), havingValue(hp)))
 			}
-			lines = append(lines, "Having("+strings.Join(hps, ", ")+")")
+			lines = append(lines, node("Having", strings.Join(hps, ", ")))
 		}
 	} else if len(vp.Aggs) > 0 {
 		var aggs []string
 		for _, a := range vp.Aggs {
 			aggs = append(aggs, a.Raw)
 		}
-		lines = append(lines, fmt.Sprintf("Aggregate(%s)", strings.Join(aggs, ", ")))
+		lines = append(lines, node("Aggregate", strings.Join(aggs, ", ")))
 	}
 	var shape []string
 	if len(vp.Orders) > 0 {
@@ -416,20 +576,23 @@ func describeTerminal(vp *VertexPattern) []string {
 		shape = append(shape, "select "+strings.Join(sels, ", "))
 	}
 	if len(shape) > 0 {
-		lines = append(lines, "Shape("+strings.Join(shape, "; ")+")")
+		lines = append(lines, node("Shape", strings.Join(shape, "; ")))
 	}
 	return lines
 }
 
+// predValue renders a predicate's constant. A bound copy keeps Param
+// alongside the substituted Value, so the placeholder renders only while
+// the value is still unbound (the zero Value, KindNone).
 func predValue(p Predicate) string {
-	if p.Param != "" {
+	if p.Param != "" && p.Value.Kind() == bond.KindNone {
 		return "$" + p.Param
 	}
 	return fmt.Sprintf("%v", p.Value)
 }
 
 func havingValue(hp HavingPred) string {
-	if hp.Param != "" {
+	if hp.Param != "" && hp.Value.Kind() == bond.KindNone {
 		return "$" + hp.Param
 	}
 	return fmt.Sprintf("%v", hp.Value)

@@ -1,0 +1,569 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"a1/internal/bond"
+	"a1/internal/core"
+	"a1/internal/fabric"
+	"a1/internal/farm"
+)
+
+// Recursive traversal (`_recurse`): bounded-depth BFS executed as a
+// distributed frontier expansion. Each iteration ships only frontier
+// pointers across the fabric; the machines owning the data expand their
+// slice through the batched read path, and a per-machine visited set
+// drops re-entries before any vertex read — expansion cost tracks the
+// size of the reachable set, not the number of paths into it. Ownership
+// is address-determined (PrimaryOf), so the union of the per-machine
+// sets is a global visited set with no cross-machine coordination.
+//
+// Semantics are distance-based: a vertex is emitted iff its BFS hop
+// distance d from a surviving root satisfies `_min <= d <= _max`, at
+// most once, and `_shortest` reports d (the first-visit depth of a BFS
+// is the shortest distance). Roots sit at distance 0 and are never
+// emitted. Edge-pattern predicates prune the traversal itself; the
+// `_vertex` terminal's type and predicates filter output only — the
+// expansion walks through non-matching vertices.
+
+// recurseRun carries one expansion across its iterations. It survives a
+// run() return inside a recursePager when the result pages out
+// mid-expansion, so everything an iteration needs hangs off it.
+type recurseRun struct {
+	st   *execState
+	host *VertexPattern  // level hosting the `_recurse` clause
+	term *VertexPattern  // the `_vertex` terminal (output filter + shaping)
+	rp   *RecursePattern
+
+	// visited is the per-machine dedup state (nil under NoRecurseDedup):
+	// each map is touched only by its owner's batch goroutine inside one
+	// iteration, and iterations are sequential, so no lock is needed.
+	visited []map[farm.Addr]bool
+
+	cur       []core.VertexPtr // candidates for iteration k
+	k         int              // next iteration, 1-based
+	working   int              // visited-budget spent (MaxWorkingSet)
+	emitted   int              // rows emitted so far (terminal act)
+	termLevel int              // st.levels index of the terminal entry
+	iterBase  int              // st.levels index of "Iter 1/max"; -1 = none
+	aggs      []aggState       // terminal aggregate partials across iterations
+	done      bool
+}
+
+// recursePager parks a mid-flight expansion behind a continuation token:
+// Fetch claims the cache entry, steps the expansion unlocked (iterations
+// are fabric round trips — no local lock may be held across them), and
+// reinserts the entry while more remains. It holds its own snapshot pin
+// so the versions the expansion reads survive the issuing query's return;
+// close is idempotent, so the sweeper, Release, and a failing Fetch can
+// all tear it down safely.
+type recursePager struct {
+	rr    *recurseRun
+	rows  []Row // emitted but not yet returned
+	unpin func()
+	once  sync.Once
+}
+
+// execRecurse runs the `_recurse` hosted at pats[level]. It returns the
+// emitted rows and aggregate partials of a completed expansion — or, when
+// the unshaped result outgrew a page, the first page plus a pager holding
+// the expansion mid-flight.
+func (st *execState) execRecurse(qc *fabric.Ctx, frontier []core.VertexPtr, host, term *VertexPattern, level, pageSize int) ([]Row, []aggState, *recursePager, error) {
+	e := st.engine
+	rp := host.Recurse
+	rr := &recurseRun{st: st, host: host, term: term, rp: rp, k: 1, termLevel: level + 1, iterBase: -1}
+	if !e.cfg.NoRecurseDedup {
+		rr.visited = make([]map[farm.Addr]bool, e.store.Farm().Fabric().Machines())
+	}
+	if n := len(st.levels); rp.Max > 0 && n >= rp.Max {
+		rr.iterBase = n - rp.Max
+	}
+
+	// Seed: the host level's residual filters pick the expansion roots;
+	// survivors are marked visited (distance 0) and enumerate the first
+	// hop's candidates.
+	roots := dedupPtrs(st.bufs, frontier)
+	rr.working = len(roots)
+	seed, _, err := rr.runPhase(qc, roots, 0)
+	if err != nil {
+		rr.release()
+		return nil, nil, nil, err
+	}
+	st.stats.Hops++
+	rr.cur = seed.next
+	if len(rr.cur) == 0 || rp.Max < 1 {
+		rr.done = true
+	}
+
+	// A result with no ordering, aggregation, or _limit/_skip shaping can
+	// stream in discovery order: page out as soon as a page exists and
+	// park the rest of the expansion behind the continuation. Anything
+	// shaped (or the dedup-free ablation, whose duplicates need the full
+	// set) runs to completion.
+	stream := rr.visited != nil && len(term.Orders) == 0 && len(term.Aggs) == 0 &&
+		len(term.GroupBy) == 0 && term.Limit == 0 && term.Skip == 0
+	var rows []Row
+	for !rr.done {
+		out, err := rr.step(qc)
+		if err != nil {
+			rr.release()
+			return nil, nil, nil, err
+		}
+		rows = append(rows, out...)
+		if stream && len(rows) > pageSize && !rr.done {
+			pgr := &recursePager{rr: rr, rows: rows[pageSize:], unpin: e.store.Farm().PinSnapshot(st.ts)}
+			return rows[:pageSize], nil, pgr, nil
+		}
+		// Ordered-limit accumulation: with the visited set each vertex
+		// appears once, so pruning to the top K(+skip) loses nothing.
+		if rr.visited != nil && st.keep > 0 && len(rows) > 2*st.keep {
+			rows = topK(st.bufs, rows, term.Orders, st.keep)
+		}
+	}
+	rr.release()
+	if rr.visited == nil {
+		// Dedup-free ablation: the same vertex is emitted once per path;
+		// iterations append in depth order, so first-kept is shallowest.
+		rows = dedupRows(st.bufs, rows)
+	}
+	st.setActRows(rr.termLevel, len(rows))
+	return rows, rr.aggs, nil, nil
+}
+
+// step runs one expansion iteration: coordinator-side frontier dedup,
+// owner-partitioned batches, and the merge of their emissions and next
+// candidates. It reports the rows this iteration emitted.
+func (rr *recurseRun) step(qc *fabric.Ctx) ([]Row, error) {
+	st := rr.st
+	e := st.engine
+	k := rr.k
+	if rr.done || k > rr.rp.Max || len(rr.cur) == 0 {
+		rr.done = true
+		return nil, nil
+	}
+	// Unordered-_limit short-circuit: once enough rows exist, deeper
+	// expansion cannot improve the result.
+	if st.rowTarget > 0 && st.rowsOut.Load() >= st.rowTarget {
+		rr.done = true
+		return nil, nil
+	}
+	cand := dedupPtrs(st.bufs, rr.cur)
+	out, accepted, err := rr.runPhase(qc, cand, k)
+	if err != nil {
+		return nil, err
+	}
+	st.stats.Hops++
+	rr.setIterAct(k, accepted)
+	rr.working += accepted
+	if rr.working > e.cfg.MaxWorkingSet {
+		return nil, fmt.Errorf("%w: %d vertices visited", ErrWorkingSet, rr.working)
+	}
+	qc.Work(time.Duration(len(out.next)) * e.cfg.CostMerge)
+	st.bufs.putPtrs(rr.cur)
+	rr.cur = out.next
+	if out.aggs != nil {
+		if rr.aggs == nil {
+			rr.aggs = make([]aggState, len(rr.term.Aggs))
+		}
+		mergeAggStates(rr.aggs, out.aggs, rr.term.Aggs)
+	}
+	rr.emitted += len(out.rows)
+	st.setActRows(rr.termLevel, rr.emitted)
+	rr.k++
+	if rr.k > rr.rp.Max || len(rr.cur) == 0 {
+		rr.done = true
+	}
+	return out.rows, nil
+}
+
+// runPhase partitions one iteration's frontier by primary host and runs
+// the owner-side batches — seed (k=0) or expansion (k>=1) — shipping
+// batches past ShipThreshold as RPCs exactly like execLevel. accepted
+// counts the candidates that survived the owners' visited filters.
+func (rr *recurseRun) runPhase(qc *fabric.Ctx, frontier []core.VertexPtr, k int) (*levelOutput, int, error) {
+	st := rr.st
+	f := st.engine.store.Farm()
+	groups := make(map[fabric.MachineID][]core.VertexPtr)
+	var order []fabric.MachineID
+	for _, vp := range frontier {
+		m, err := f.PrimaryOf(qc, vp.Addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		s, ok := groups[m]
+		if !ok {
+			order = append(order, m)
+			s = st.bufs.getPtrs()
+		}
+		groups[m] = append(s, vp)
+	}
+	merged := &levelOutput{}
+	accepted := 0
+	var mu sync.Mutex
+	var firstErr error
+	qc.Parallel(len(order), func(i int, cc *fabric.Ctx) {
+		m := order[i]
+		batch := groups[m]
+		ship := !st.hints.NoShipping && m != cc.M && len(batch) >= st.engine.cfg.ShipThreshold
+		var out *levelOutput
+		var acc int
+		var err error
+		var rb int
+		run := func(sc *fabric.Ctx) error {
+			if k == 0 {
+				out, acc, err = rr.seedBatch(sc, m, batch)
+			} else {
+				out, acc, err = rr.expandBatch(sc, m, batch, k)
+			}
+			return err
+		}
+		if ship {
+			reqBytes := len(batch)*ptrWireBytes + 128
+			err = cc.RPC(m, reqBytes, func(sc *fabric.Ctx) (int, error) {
+				if err := run(sc); err != nil {
+					return 0, err
+				}
+				rb = out.replyBytes()
+				return rb, nil
+			})
+		} else {
+			err = run(cc)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if ship {
+			st.mu.Lock()
+			st.stats.RowsShipped += int64(len(out.rows))
+			st.stats.BytesShipped += int64(rb)
+			st.mu.Unlock()
+		}
+		accepted += acc
+		merged.next = append(merged.next, out.next...)
+		merged.rows = append(merged.rows, out.rows...)
+		// Values were copied out by the appends; only the batch slice
+		// headers are recycled, never the rows' own buffers.
+		st.bufs.putPtrs(out.next)
+		st.bufs.putRows(out.rows)
+		if out.aggs != nil {
+			if merged.aggs == nil {
+				merged.aggs = make([]aggState, len(rr.term.Aggs))
+			}
+			mergeAggStates(merged.aggs, out.aggs, rr.term.Aggs)
+		}
+		if st.keep > 0 && len(merged.rows) > 2*st.keep {
+			merged.rows = topK(st.bufs, merged.rows, rr.term.Orders, st.keep)
+		}
+	})
+	for _, m := range order {
+		st.bufs.putPtrs(groups[m])
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return merged, accepted, nil
+}
+
+// seedBatch applies the host level's residual filters to this owner's
+// slice of the root frontier, marks survivors visited at distance 0, and
+// enumerates their first-hop candidates.
+func (rr *recurseRun) seedBatch(sc *fabric.Ctx, m fabric.MachineID, batch []core.VertexPtr) (*levelOutput, int, error) {
+	st := rr.st
+	e := st.engine
+	g := st.graph
+	tx := e.store.Farm().CreateReadTransactionAt(sc, st.ts)
+	host := rr.host
+	out := &levelOutput{next: st.bufs.getPtrs()}
+	visited := rr.visitedFor(m)
+	work := batch
+	if st.member != nil {
+		filtered := st.bufs.getPtrs()
+		for _, vp := range batch {
+			if !st.member[vp.Addr] {
+				st.addIndexFiltered()
+				continue
+			}
+			filtered = append(filtered, vp)
+		}
+		work = filtered
+		defer st.bufs.putPtrs(filtered)
+	}
+	needData := host.Type != "" || len(host.Preds) > 0
+	const readChunk = 256
+	var vtxs []*core.Vertex
+	accepted := 0
+	for i, vp := range work {
+		if needData {
+			if i%readChunk == 0 {
+				end := min(i+readChunk, len(work))
+				var err error
+				vtxs, err = g.ReadVertices(tx, work[i:end])
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+			v := vtxs[i%readChunk]
+			if v == nil { // deleted since the frontier was built
+				continue
+			}
+			sc.Work(e.cfg.CostVertexRead)
+			st.addVertexRead()
+			if host.Type != "" && v.TypeName != host.Type {
+				continue
+			}
+			schema, err := g.VertexTypeSchema(sc, v.TypeName)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(host.Preds) > 0 {
+				sc.Work(time.Duration(len(host.Preds)) * e.cfg.CostPredEval)
+				if !evalPredicates(v.Data, host.Preds, schema) {
+					continue
+				}
+			}
+		}
+		if len(host.Matches) > 0 {
+			//lint:ignore a1/batchreads machine-local batch: seedBatch runs owner-side on a PrimaryOf-partitioned batch; match-subtree reads below this helper stay on the owner
+			ok, err := st.evalMatches(sc, tx, vp, host.Matches)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if visited != nil {
+			if visited[vp.Addr] {
+				continue
+			}
+			visited[vp.Addr] = true
+		}
+		accepted++
+		//lint:ignore a1/batchreads machine-local batch: seedBatch runs owner-side on a PrimaryOf-partitioned batch; half-edge enumeration below this helper reads owner-resident objects
+		next, err := st.traverseEdge(sc, tx, vp, rr.rp.Edge)
+		if err != nil {
+			return nil, 0, err
+		}
+		out.next = append(out.next, next...)
+		st.bufs.putPtrs(next)
+	}
+	return out, accepted, nil
+}
+
+// expandBatch runs iteration k for this owner's slice of the candidate
+// frontier: drop already-visited candidates before any read, batch-read
+// the survivors, emit those inside the depth window that pass the
+// terminal's output filters, and enumerate the next hop's candidates
+// while the depth bound allows.
+func (rr *recurseRun) expandBatch(sc *fabric.Ctx, m fabric.MachineID, batch []core.VertexPtr, k int) (*levelOutput, int, error) {
+	st := rr.st
+	e := st.engine
+	g := st.graph
+	tx := e.store.Farm().CreateReadTransactionAt(sc, st.ts)
+	rp := rr.rp
+	term := rr.term
+	expand := k < rp.Max
+	emit := k >= rp.Min
+	out := &levelOutput{}
+	if expand {
+		out.next = st.bufs.getPtrs()
+	}
+	if emit && len(term.Aggs) > 0 {
+		out.aggs = make([]aggState, len(term.Aggs))
+	}
+	buildRows := emit && (len(term.Selects) > 0 || len(term.Aggs) == 0)
+	if buildRows {
+		out.rows = st.bufs.getRows()
+	}
+	// Visited filter first, so the surviving batch read stays chunked and
+	// the dedup saving shows up as vertices never read at all.
+	visited := rr.visitedFor(m)
+	work := batch
+	if visited != nil {
+		filtered := st.bufs.getPtrs()
+		for _, vp := range batch {
+			if visited[vp.Addr] {
+				continue
+			}
+			visited[vp.Addr] = true
+			filtered = append(filtered, vp)
+		}
+		work = filtered
+		defer st.bufs.putPtrs(filtered)
+	}
+	const readChunk = 256
+	var vtxs []*core.Vertex
+	var schema *bond.Schema
+	for i, vp := range work {
+		if st.rowTarget > 0 && st.rowsOut.Load() >= st.rowTarget {
+			break
+		}
+		var vtx *core.Vertex
+		if emit {
+			if i%readChunk == 0 {
+				end := min(i+readChunk, len(work))
+				var err error
+				vtxs, err = g.ReadVertices(tx, work[i:end])
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+			v := vtxs[i%readChunk]
+			if v == nil { // deleted since the frontier was built
+				continue
+			}
+			vtx = v
+			sc.Work(e.cfg.CostVertexRead)
+			st.addVertexRead()
+		}
+		if vtx != nil {
+			// Terminal filters gate OUTPUT only: a non-matching vertex
+			// still expands below.
+			rowOK := true
+			if term.Type != "" && vtx.TypeName != term.Type {
+				rowOK = false
+			}
+			if rowOK {
+				s, err := g.VertexTypeSchema(sc, vtx.TypeName)
+				if err != nil {
+					return nil, 0, err
+				}
+				schema = s
+				if len(term.Preds) > 0 {
+					sc.Work(time.Duration(len(term.Preds)) * e.cfg.CostPredEval)
+					if !evalPredicates(vtx.Data, term.Preds, schema) {
+						rowOK = false
+					}
+				}
+			}
+			if rowOK {
+				if len(out.aggs) > 0 {
+					for ai := range term.Aggs {
+						accumAgg(&out.aggs[ai], term.Aggs[ai], vtx.Data, schema)
+					}
+				}
+				if buildRows {
+					row := newRow(st.bufs, vp, vtx.Data, term, schema)
+					if rp.Shortest {
+						if row.Values == nil {
+							row.Values = st.bufs.getValues(1)
+						}
+						row.Values[HopsColumn] = bond.Int64(int64(k))
+					}
+					out.rows = append(out.rows, row)
+					st.rowsOut.Add(1)
+					if st.keep > 0 && len(out.rows) >= 2*st.keep {
+						out.rows = topK(st.bufs, out.rows, term.Orders, st.keep)
+					}
+				}
+			}
+		}
+		if expand {
+			//lint:ignore a1/batchreads machine-local batch: expandBatch runs owner-side on a PrimaryOf-partitioned batch; half-edge enumeration below this helper reads owner-resident objects
+			next, err := st.traverseEdge(sc, tx, vp, rp.Edge)
+			if err != nil {
+				return nil, 0, err
+			}
+			out.next = append(out.next, next...)
+			st.bufs.putPtrs(next)
+		}
+	}
+	if st.keep > 0 && len(out.rows) > st.keep {
+		out.rows = topK(st.bufs, out.rows, term.Orders, st.keep)
+	}
+	return out, len(work), nil
+}
+
+// visitedFor hands a batch its owner's visited set, creating it lazily.
+// Safe unlocked: one goroutine per machine per iteration, iterations in
+// sequence.
+func (rr *recurseRun) visitedFor(m fabric.MachineID) map[farm.Addr]bool {
+	if rr.visited == nil {
+		return nil
+	}
+	if rr.visited[m] == nil {
+		rr.visited[m] = rr.st.bufs.getAddrSet()
+	}
+	return rr.visited[m]
+}
+
+func (rr *recurseRun) setIterAct(k, n int) {
+	if rr.iterBase >= 0 {
+		rr.st.setActRows(rr.iterBase+k-1, n)
+	}
+}
+
+// release returns the run's cross-iteration state to the pools.
+func (rr *recurseRun) release() {
+	st := rr.st
+	st.bufs.putPtrs(rr.cur)
+	rr.cur = nil
+	for i, v := range rr.visited {
+		if v != nil {
+			st.bufs.putAddrSet(v)
+			rr.visited[i] = nil
+		}
+	}
+	rr.done = true
+}
+
+// nextPage resumes the parked expansion until a page (plus one row of
+// lookahead, so an exactly-full final page ends the stream) is buffered
+// or the expansion dries up. Work done here is accounted into the fetch's
+// own Stats, not the issuing query's.
+func (p *recursePager) nextPage(c *fabric.Ctx, n int, stats *Stats) ([]Row, bool, error) {
+	var ops fabric.OpStats
+	qc := c.WithStats(&ops)
+	st := p.rr.st
+	st.mu.Lock()
+	prev := st.stats
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		cur := st.stats
+		st.mu.Unlock()
+		stats.Hops += cur.Hops - prev.Hops
+		stats.VerticesRead += cur.VerticesRead - prev.VerticesRead
+		stats.EdgesVisited += cur.EdgesVisited - prev.EdgesVisited
+		stats.RowsShipped += cur.RowsShipped - prev.RowsShipped
+		stats.BytesShipped += cur.BytesShipped - prev.BytesShipped
+		stats.IndexFiltered += cur.IndexFiltered - prev.IndexFiltered
+		stats.ObjectsRead += ops.TotalReads()
+		stats.RemoteReads += ops.RemoteReads.Load()
+		stats.RPCs += ops.RPCs.Load()
+		stats.RDMATime += time.Duration(ops.RDMAReadTime.Load())
+	}()
+	for len(p.rows) <= n && !p.rr.done {
+		out, err := p.rr.step(qc)
+		if err != nil {
+			return nil, false, err
+		}
+		p.rows = append(p.rows, out...)
+	}
+	page := p.rows
+	if len(page) > n {
+		page = page[:n]
+		p.rows = p.rows[n:]
+	} else {
+		p.rows = nil
+	}
+	return page, len(p.rows) > 0 || !p.rr.done, nil
+}
+
+// close releases the expansion's state: idempotent, so Fetch error paths,
+// Release, the sweeper, and a coordinator drop can all call it.
+func (p *recursePager) close(*Engine) {
+	p.once.Do(func() {
+		p.rr.release()
+		p.rr.st.bufs.releaseRows(p.rows)
+		p.rows = nil
+		p.unpin()
+	})
+}
